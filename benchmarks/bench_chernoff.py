@@ -1,0 +1,63 @@
+"""E11 — Appendix A, Lemmas 22/23: the Chernoff bounds used throughout
+the paper's analysis hold empirically (the proved curve dominates the
+Monte-Carlo tail everywhere)."""
+
+import numpy as np
+import pytest
+
+from repro.util.chernoff import compare_lemma22, compare_lemma23
+
+from _workloads import series_table, experiment
+
+TRIALS = 200_000
+
+
+@experiment
+def bench_e11_lemma22_grid(capsys):
+    rng = np.random.default_rng(0)
+    rows = []
+    for n, p in ((400, 0.02), (1000, 0.01), (5000, 0.002)):
+        for gamma in (6.0, 8.0, 12.0, 20.0):
+            cmp = compare_lemma22(n, p, gamma, TRIALS, rng)
+            rows.append([n, p, gamma, cmp.empirical, cmp.bound,
+                         "yes" if cmp.holds else "NO"])
+            assert cmp.holds
+    with capsys.disabled():
+        print()
+        print(series_table(
+            "E11 (Lemma 22) Pr(X > gamma*mu) — bound must dominate the "
+            f"Monte-Carlo tail ({TRIALS} trials)",
+            ["n", "p", "gamma", "empirical", "bound", "holds"],
+            rows,
+        ))
+
+
+@experiment
+def bench_e11_lemma23_grid(capsys):
+    rng = np.random.default_rng(1)
+    rows = []
+    for n, p in ((60, 0.5), (200, 0.25), (500, 0.1)):
+        alpha = 1.0 / p
+        for t_mult in (0.4, 0.6, 1.2, 2.5, 3.5):
+            t = t_mult * alpha
+            cmp = compare_lemma23(n, p, t, TRIALS, rng)
+            rows.append([n, p, round(t, 2), cmp.empirical, cmp.bound,
+                         "yes" if cmp.holds else "NO"])
+            assert cmp.holds
+    with capsys.disabled():
+        print()
+        print(series_table(
+            "E11 (Lemma 23) negative-binomial tails across all five "
+            "bound regimes",
+            ["n", "p", "t", "empirical", "bound", "holds"],
+            rows,
+        ))
+
+
+def bench_e11_wall_time(benchmark):
+    rng = np.random.default_rng(2)
+
+    def run():
+        return compare_lemma22(1000, 0.01, 8.0, TRIALS, rng)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)

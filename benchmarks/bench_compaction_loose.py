@@ -1,0 +1,70 @@
+"""E4 — Theorem 8: loose compaction in O(N/B) I/Os (output 5R).
+
+Measures the per-block I/O cost across n (flat = linear), the success
+rate of the w.h.p. guarantee, and wall time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.compaction import CompactionFailure, loose_compact
+from repro.em import EMMachine, make_block
+from repro.util.rng import make_rng
+
+from _workloads import series_table, experiment
+
+
+def _instance(n, r, M=256, B=4, seed=0):
+    mach = EMMachine(M=M, B=B, trace=False)
+    arr = mach.alloc(n, "A")
+    rng = np.random.default_rng(seed)
+    for j in rng.choice(n, size=r, replace=False):
+        arr.raw[j] = make_block([int(j)], B=B)
+    return mach, arr
+
+
+@experiment
+def bench_e4_linear_io_series(capsys):
+    rows = []
+    for n in (128, 256, 512, 1024, 2048):
+        r = n // 8
+        mach, arr = _instance(n, r)
+        with mach.meter() as meter:
+            loose_compact(mach, arr, r, make_rng(5))
+        rows.append([n, r, meter.total, meter.total / n])
+    with capsys.disabled():
+        print()
+        print(series_table(
+            "E4 (Theorem 8) loose compaction I/Os — expected flat ios/n "
+            "(linear in N/B); output size 5R",
+            ["n", "r", "ios", "ios/n"],
+            rows,
+        ))
+    per_block = [row[3] for row in rows]
+    assert max(per_block) / min(per_block) < 1.6
+
+
+@experiment
+def bench_e4_success_rate(capsys):
+    trials, failures = 50, 0
+    for seed in range(trials):
+        mach, arr = _instance(256, 32, seed=seed)
+        try:
+            loose_compact(mach, arr, 32, make_rng(seed))
+        except CompactionFailure:
+            failures += 1
+    with capsys.disabled():
+        print(f"\nE4 success rate: {trials - failures}/{trials} "
+              f"(paper: >= 1 - (N/B)^-d)")
+    assert failures <= 1
+
+
+@pytest.mark.parametrize("n", [512, 2048])
+def bench_e4_wall_time(benchmark, n):
+    mach, arr = _instance(n, n // 8)
+
+    def run():
+        loose_compact(mach, arr, n // 8, make_rng(1))
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info["n_blocks"] = n

@@ -1,0 +1,90 @@
+"""E2 — Theorem 4: sparse tight compaction via the oblivious IBLT.
+
+Measures (a) the linear-in-n I/O shape of the insert pass, (b) the
+Lemma 1 success rate at the paper's table sizing, and (c) wall time.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.compaction import CompactionFailure, tight_compact_sparse
+from repro.em import EMMachine, make_block
+from repro.util.rng import make_rng
+
+from _workloads import series_table, experiment
+
+
+def _instance(n, r, B=4, M=512, seed=0):
+    mach = EMMachine(M=M, B=B, trace=False)
+    arr = mach.alloc(n, "A")
+    rng = np.random.default_rng(seed)
+    for j in sorted(rng.choice(n, size=r, replace=False)):
+        arr.raw[j] = make_block([int(j)], B=B)
+    return mach, arr
+
+
+@experiment
+def bench_e2_io_series(capsys):
+    """Insert-pass I/Os are (1 + 4k) per block — linear in n; the peel
+    cost depends only on r (the sparse term of O(n + r log^2 r))."""
+    rows = []
+    k = 3
+    for n in (64, 128, 256, 512):
+        r = max(2, int(n / max(1.0, np.log2(n) ** 2)))
+        mach, arr = _instance(n, r)
+        with mach.meter() as meter:
+            tight_compact_sparse(mach, arr, r, make_rng(1), oblivious_list=False)
+        per_block = meter.total / n
+        rows.append([n, r, meter.total, per_block])
+    with capsys.disabled():
+        print()
+        print(series_table(
+            "E2 (Theorem 4) sparse compaction I/Os, r = n/log^2 n "
+            "(direct peel; expect per-block cost ~= 2 + 4k + o(1))",
+            ["n", "r", "ios", "ios/n"],
+            rows,
+        ))
+    per_blocks = [row[3] for row in rows]
+    assert max(per_blocks) / min(per_blocks) < 1.5  # linear shape
+
+
+@experiment
+def bench_e2_lemma1_success_rate(capsys):
+    """Lemma 1: at m = delta*k*n cells the listing succeeds w.h.p."""
+    rows = []
+    for table_factor in (3, 4, 6):
+        failures = 0
+        trials = 60
+        for seed in range(trials):
+            mach, arr = _instance(96, 16, seed=seed)
+            try:
+                tight_compact_sparse(
+                    mach, arr, 16, make_rng(seed),
+                    oblivious_list=False, table_factor=table_factor,
+                )
+            except CompactionFailure:
+                failures += 1
+        rows.append([table_factor, trials, failures, failures / trials])
+    with capsys.disabled():
+        print()
+        print(series_table(
+            "E2 (Lemma 1) IBLT peel failure rate vs table sizing "
+            "(paper: <= 1/r^c for delta >= 2, k = 3 => factor 6)",
+            ["table_factor", "trials", "failures", "rate"],
+            rows,
+        ))
+    assert rows[-1][2] == 0  # the paper's sizing never failed
+
+
+@pytest.mark.parametrize("oblivious_list", [False, True])
+def bench_e2_wall_time(benchmark, oblivious_list):
+    n, r = (128, 8) if oblivious_list else (512, 32)
+    mach, arr = _instance(n, r, M=1024)
+
+    def run():
+        tight_compact_sparse(
+            mach, arr, r, make_rng(3), oblivious_list=oblivious_list
+        )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info.update(n=n, r=r, oblivious_list=oblivious_list)

@@ -1,0 +1,59 @@
+"""E1 — Lemma 3: data consolidation in exactly n reads + (n+1) writes.
+
+Regenerates the lemma's I/O claim as a measured series over N and B and
+benchmarks wall time at the largest size.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.consolidation import consolidate
+from repro.em import EMMachine, make_block
+
+from _workloads import load_sparse_blocks, series_table, experiment
+
+
+def _run_once(n_blocks, B, density, seed=0):
+    mach = EMMachine(M=16 * B, B=B, trace=False)
+    rng = np.random.default_rng(seed)
+    arr, _ = load_sparse_blocks(mach, n_blocks, density, rng)
+    with mach.meter() as meter:
+        consolidate(mach, arr)
+    return meter
+
+
+@experiment
+def bench_e1_io_series(capsys):
+    """Measured I/Os equal the Lemma 3 bound at every (N, B, density)."""
+    rows = []
+    for B in (4, 16, 64):
+        for n_blocks in (64, 256, 1024):
+            for density in (0.1, 0.5, 0.9):
+                meter = _run_once(n_blocks, B, density)
+                bound = 2 * n_blocks + 1
+                rows.append(
+                    [B, n_blocks, density, meter.reads, meter.writes, bound,
+                     meter.total / bound]
+                )
+                assert meter.reads == n_blocks
+                assert meter.writes == n_blocks + 1
+    with capsys.disabled():
+        print()
+        print(series_table(
+            "E1 (Lemma 3) consolidation I/Os — paper bound: n reads + n+1 writes",
+            ["B", "n_blocks", "density", "reads", "writes", "bound", "ratio"],
+            rows,
+        ))
+
+
+@pytest.mark.parametrize("n_blocks", [1024, 4096])
+def bench_e1_wall_time(benchmark, n_blocks):
+    mach = EMMachine(M=64, B=4, trace=False)
+    rng = np.random.default_rng(0)
+    arr, _ = load_sparse_blocks(mach, n_blocks, 0.5, rng)
+
+    def run():
+        consolidate(mach, arr)
+
+    benchmark.pedantic(run, rounds=3, iterations=1)
+    benchmark.extra_info["n_blocks"] = n_blocks

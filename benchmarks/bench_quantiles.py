@@ -1,0 +1,76 @@
+"""E7 — Theorem 17: q quantiles in O(N/B) I/Os for q <= (M/B)^(1/4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.quantiles import QuantileFailure, quantiles_em
+from repro.util.rng import make_rng
+
+from _workloads import record_machine, series_table, experiment
+
+
+def _quantile_ios(n, q, M=256, B=4):
+    keys = np.random.default_rng(n).permutation(np.arange(1, n + 1))
+    expected = [
+        int(np.sort(keys)[max(1, min(n, round(i * n / (q + 1)))) - 1])
+        for i in range(1, q + 1)
+    ]
+    for attempt in range(8):
+        mach, arr = record_machine(keys, B=B, M=M)
+        try:
+            with mach.meter() as meter:
+                got = quantiles_em(mach, arr, n, q, make_rng(attempt))
+            assert got.tolist() == expected
+            return meter.total
+        except QuantileFailure:
+            continue
+    raise AssertionError("quantiles kept failing")
+
+
+@experiment
+def bench_e7_linear_series(capsys):
+    rows = []
+    for n in (256, 512, 1024, 2048):
+        ios = _quantile_ios(n, q=2)
+        rows.append([n, 2, ios, ios / (n // 4)])
+    with capsys.disabled():
+        print()
+        print(series_table(
+            "E7 (Theorem 17) quantile I/Os — expected flat ios/block",
+            ["n", "q", "ios", "ios/blk"],
+            rows,
+        ))
+    per_block = [r[3] for r in rows]
+    assert max(per_block) / min(per_block) < 1.8
+
+
+@experiment
+def bench_e7_q_sweep(capsys):
+    rows = []
+    n = 1024
+    for q in (1, 2, 3, 4):
+        ios = _quantile_ios(n, q=q)
+        rows.append([q, ios, ios / (n // 4)])
+    with capsys.disabled():
+        print()
+        print(series_table(
+            "E7 quantile I/Os vs q (n = 1024) — mild growth only",
+            ["q", "ios", "ios/blk"],
+            rows,
+        ))
+
+
+@pytest.mark.parametrize("n", [512, 2048])
+def bench_e7_wall_time(benchmark, n):
+    keys = np.random.default_rng(2).permutation(np.arange(1, n + 1))
+
+    def run():
+        for attempt in range(8):
+            mach, arr = record_machine(keys, M=256)
+            try:
+                return quantiles_em(mach, arr, n, 2, make_rng(attempt))
+            except QuantileFailure:
+                continue
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["n"] = n

@@ -1,0 +1,68 @@
+"""Figure 1 — the butterfly-like compaction network.
+
+Regenerates the paper's only figure: a 16-cell level-0 row whose seven
+occupied cells carry the distance labels 2, 3, 3, 6, 8, 8, 9, routed
+level by level until the occupied cells form a tight prefix.  The
+printed diagram mirrors the figure's shaded-cell / label notation.
+"""
+
+import numpy as np
+
+from repro.networks.butterfly import butterfly_levels_trace, distance_labels
+
+from _workloads import experiment
+
+
+#: The occupancy of the paper's Figure 1 (labels come out 2,3,3,6,8,8,9).
+FIGURE1_POSITIONS = [2, 4, 5, 9, 12, 13, 15]
+FIGURE1_LABELS = [2, 3, 3, 6, 8, 8, 9]
+
+
+def _render(trace):
+    lines = []
+    for level, row in enumerate(trace):
+        cells = []
+        for occupied, dist in row:
+            cells.append(f"[{dist:>2}]" if occupied else " .. ")
+        lines.append(f"L{level}  " + " ".join(cells))
+    return "\n".join(lines)
+
+
+@experiment
+def bench_fig1_regeneration(capsys):
+    occ = np.zeros(16, dtype=bool)
+    occ[FIGURE1_POSITIONS] = True
+    labels = distance_labels(occ)
+    assert [int(labels[p]) for p in FIGURE1_POSITIONS] == FIGURE1_LABELS
+
+    trace = butterfly_levels_trace(occ)  # raises on any Lemma-5 collision
+    final = trace[-1]
+    k = sum(o for o, _ in final)
+    assert [o for o, _ in final] == [True] * k + [False] * (16 - k)
+    assert all(d == 0 for o, d in final if o)
+
+    with capsys.disabled():
+        print()
+        print("Figure 1 — butterfly-like compaction network "
+              "(occupied cells shaded with remaining distance):")
+        print(_render(trace))
+        print(f"levels: {len(trace) - 1}, occupied: {k}, collisions: 0 (Lemma 5)")
+
+
+@experiment
+def bench_fig1_random_instances(capsys):
+    """The figure's property — collision-free routing to a tight prefix —
+    holds for every random occupancy (Lemma 5 at scale)."""
+    rng = np.random.default_rng(0)
+    checked = 0
+    for trial in range(200):
+        n = int(rng.integers(2, 128))
+        occ = rng.random(n) < rng.uniform(0.05, 0.95)
+        trace = butterfly_levels_trace(occ)  # raises on collision
+        final = trace[-1]
+        k = sum(o for o, _ in final)
+        assert [o for o, _ in final] == [True] * k + [False] * (n - k)
+        checked += 1
+    with capsys.disabled():
+        print(f"\nFigure 1 property verified on {checked} random instances "
+              "(0 collisions, all tight)")

@@ -1,0 +1,66 @@
+"""Outsourced-disk defragmentation — the paper's §3 motivating scenario.
+
+A user stores a file system on rented block storage and pays per block.
+Deleting files leaves live blocks scattered among dead ones; compacting
+them saves money — but a naive defragmenter's access pattern tells the
+provider exactly which blocks are live (i.e., which files exist and how
+big they are).
+
+This example runs the paper's tight order-preserving compaction
+(Theorem 6, the butterfly network): the provider sees the identical I/O
+sequence whether the volume is 10% or 90% live, while the user ends up
+with a dense prefix of live blocks in their original order.
+
+Run:  python examples/outsourced_defrag.py
+"""
+
+import numpy as np
+
+from repro import EMMachine, make_block, tight_compact
+from repro.em.block import is_empty
+
+
+def build_volume(machine, n_blocks, live_fraction, rng):
+    """A volume where each block is live (holds file data) or dead."""
+    vol = machine.alloc(n_blocks, "volume")
+    live = rng.random(n_blocks) < live_fraction
+    for j in np.flatnonzero(live):
+        # File payload: (file-id, offset) records.
+        vol.raw[j] = make_block([int(j)], values=[int(j) * 100], B=machine.B)
+    return vol, live
+
+
+def defrag(live_fraction, seed=0):
+    machine = EMMachine(M=128, B=8)
+    rng = np.random.default_rng(seed)
+    vol, live = build_volume(machine, 256, live_fraction, rng)
+    with machine.meter() as meter:
+        compacted = tight_compact(machine, vol)
+    # Verify: live blocks form a prefix, in their original order.
+    keys = []
+    for j in range(compacted.num_blocks):
+        blk = compacted.raw[j]
+        if not is_empty(blk).all():
+            keys.append(int(blk[0, 0]))
+    assert keys == sorted(np.flatnonzero(live).tolist())
+    live_count = len(keys)
+    return machine, meter, live_count
+
+
+def main() -> None:
+    print("defragmenting a 256-block outsourced volume (B = 8 words)\n")
+    fingerprints = []
+    for frac in (0.1, 0.5, 0.9):
+        machine, meter, live = defrag(frac)
+        fingerprints.append(machine.trace.fingerprint())
+        print(
+            f"  {int(frac * 100):>2}% live: {live:>3} live blocks compacted "
+            f"in {meter.total} I/Os, trace {fingerprints[-1][:16]}…"
+        )
+    identical = len(set(fingerprints)) == 1
+    print(f"\nprovider sees the same trace at every occupancy: {identical}")
+    assert identical, "the defragmenter leaked the occupancy!"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Offline environments without the ``wheel`` package cannot run the PEP-517
+editable install (``pip install -e .``); ``python setup.py develop`` works
+with plain setuptools.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

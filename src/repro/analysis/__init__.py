@@ -1,0 +1,5 @@
+"""Complexity-curve analysis helpers for the experiment harness."""
+
+from repro.analysis.fitting import ComplexityFit, fit_complexity, io_models
+
+__all__ = ["ComplexityFit", "fit_complexity", "io_models"]

@@ -1,0 +1,103 @@
+"""Fit measured I/O series to the paper's candidate complexity models.
+
+The experiments produce ``(n, ios)`` series; this module answers the
+question every table implicitly asks — *which growth law explains the
+measurements best?* — by least-squares fitting the constant of each
+candidate model and comparing relative residuals.
+
+Candidate models mirror the paper's bounds (all in blocks ``n = N/B``
+with cache ``m = M/B``):
+
+* ``linear``        — ``c * n``                    (Theorems 8, 13, 17)
+* ``n_logm``        — ``c * n * log_m n``          (Theorems 6, 21)
+* ``n_log``         — ``c * n * log2 n``           (naive butterfly)
+* ``n_log2``        — ``c * n * log2^2 (n/m)``     (Lemma 2 sorts)
+* ``n_logstar``     — ``c * n * log* n``           (Theorem 9)
+* ``quadratic``     — ``c * n^2``                  (sanity anchor)
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.util.mathx import log_base, log_star
+
+__all__ = ["io_models", "fit_complexity", "ComplexityFit"]
+
+Model = Callable[[float, float], float]
+
+
+def io_models(m: int) -> dict[str, Model]:
+    """The candidate growth laws, parameterized by the cache size ``m``."""
+    return {
+        "linear": lambda n, c: c * n,
+        "n_logm": lambda n, c: c * n * log_base(n, max(2, m)),
+        "n_log": lambda n, c: c * n * max(1.0, math.log2(max(2.0, n))),
+        "n_log2": lambda n, c: c
+        * n
+        * max(1.0, math.log2(max(2.0, n / max(1, m)))) ** 2,
+        "n_logstar": lambda n, c: c * n * max(1, log_star(n)),
+        "quadratic": lambda n, c: c * n * n,
+    }
+
+
+@dataclass(frozen=True)
+class ComplexityFit:
+    """Result of fitting one model to a measurement series."""
+
+    model: str
+    constant: float
+    relative_rmse: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.model}: c={self.constant:.3g}, rel-rmse={self.relative_rmse:.3f}"
+
+
+def _fit_one(ns: np.ndarray, ios: np.ndarray, fn: Model) -> tuple[float, float]:
+    """Least-squares constant for ``ios ~ c * shape(n)`` and the relative
+    root-mean-square error of the fit."""
+    shape = np.array([fn(float(n), 1.0) for n in ns])
+    c = float(np.dot(shape, ios) / np.dot(shape, shape))
+    pred = c * shape
+    rel = (pred - ios) / ios
+    return c, float(np.sqrt(np.mean(rel**2)))
+
+
+def fit_complexity(
+    ns: Sequence[int],
+    ios: Sequence[float],
+    m: int,
+    *,
+    models: Sequence[str] | None = None,
+) -> list[ComplexityFit]:
+    """Fit every candidate model; returns fits sorted best-first.
+
+    A series needs at least three points spanning a factor >= 4 in ``n``
+    for the ranking to be meaningful; fewer points raise ``ValueError``.
+    """
+    ns_arr = np.asarray(ns, dtype=float)
+    ios_arr = np.asarray(ios, dtype=float)
+    if len(ns_arr) != len(ios_arr):
+        raise ValueError("ns and ios must have equal lengths")
+    if len(ns_arr) < 3:
+        raise ValueError("need at least three measurement points")
+    if np.any(ios_arr <= 0) or np.any(ns_arr <= 0):
+        raise ValueError("measurements must be positive")
+    if ns_arr.max() / ns_arr.min() < 4:
+        raise ValueError("series must span at least a 4x range of n")
+    candidates = io_models(m)
+    if models is not None:
+        unknown = set(models) - set(candidates)
+        if unknown:
+            raise ValueError(f"unknown models: {sorted(unknown)}")
+        candidates = {k: v for k, v in candidates.items() if k in models}
+    fits = []
+    for name, fn in candidates.items():
+        c, err = _fit_one(ns_arr, ios_arr, fn)
+        fits.append(ComplexityFit(model=name, constant=c, relative_rmse=err))
+    fits.sort(key=lambda f: f.relative_rmse)
+    return fits

@@ -1,0 +1,15 @@
+"""Baselines for the benchmark harness.
+
+* :func:`external_merge_sort` — the classical *non-oblivious* optimal
+  external-memory sort (Aggarwal–Vitter [1]); its I/O count is the
+  paper's lower-bound reference for Theorem 21's optimality claim.
+* :func:`bitonic_external_sort` — a purely network-based oblivious sort
+  (no run formation), the "log-squared and then some" strawman.
+* :func:`sort_then_pick` — selection-by-sorting, the baseline Theorem 13
+  beats by an unbounded factor.
+"""
+
+from repro.baselines.external_merge_sort import external_merge_sort
+from repro.baselines.oblivious_baselines import bitonic_external_sort, sort_then_pick
+
+__all__ = ["external_merge_sort", "bitonic_external_sort", "sort_then_pick"]

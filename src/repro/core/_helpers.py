@@ -1,0 +1,75 @@
+"""Internal scan helpers shared by the core algorithms.
+
+All of these are plain sequential scans: their access patterns are fixed
+functions of the array lengths involved, hence data-oblivious.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.em.block import NULL_KEY, RECORD_WIDTH, is_empty
+from repro.em.machine import EMMachine
+from repro.em.storage import EMArray
+
+__all__ = [
+    "empty_block",
+    "copy_blocks",
+    "copy_array",
+    "concat_arrays",
+    "block_occupied",
+    "count_occupied_blocks",
+]
+
+
+def empty_block(B: int) -> np.ndarray:
+    blk = np.full((B, RECORD_WIDTH), 0, dtype=np.int64)
+    blk[:, 0] = NULL_KEY
+    return blk
+
+
+def copy_blocks(
+    machine: EMMachine,
+    src: EMArray,
+    src_lo: int,
+    dst: EMArray,
+    dst_lo: int,
+    count: int,
+) -> None:
+    """Copy ``count`` consecutive blocks between arrays (scan, 2 I/Os each)."""
+    with machine.cache.hold(1):
+        for t in range(count):
+            machine.write(dst, dst_lo + t, machine.read(src, src_lo + t))
+
+
+def copy_array(machine: EMMachine, src: EMArray, name: str = "") -> EMArray:
+    """Allocate a fresh array and copy ``src`` into it."""
+    dst = machine.alloc(src.num_blocks, name or f"{src.name}.copy")
+    copy_blocks(machine, src, 0, dst, 0, src.num_blocks)
+    return dst
+
+
+def concat_arrays(machine: EMMachine, parts: list[EMArray], name: str) -> EMArray:
+    """Concatenate arrays into a fresh one (scan per part)."""
+    total = sum(p.num_blocks for p in parts)
+    out = machine.alloc(total, name)
+    pos = 0
+    for p in parts:
+        copy_blocks(machine, p, 0, out, pos, p.num_blocks)
+        pos += p.num_blocks
+    return out
+
+
+def block_occupied(block: np.ndarray) -> bool:
+    """In-cache test: does the block hold any non-empty record?"""
+    return bool(np.any(~is_empty(block)))
+
+
+def count_occupied_blocks(machine: EMMachine, A: EMArray) -> int:
+    """Scan counting occupied blocks (the count is private to Alice)."""
+    count = 0
+    with machine.cache.hold(1):
+        for j in range(A.num_blocks):
+            if block_occupied(machine.read(A, j)):
+                count += 1
+    return count

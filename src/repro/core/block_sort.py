@@ -1,0 +1,165 @@
+"""Oblivious sorting of whole blocks by a hidden per-block key.
+
+Several substrates (the square-root ORAM's rebuild, failure sweeping, the
+loose compaction tail) need to sort *blocks* — treating each block as one
+atom — by a key stored *inside* the block (hence hidden from the
+adversary).
+
+The construction mirrors the record-level Lemma-2 sort
+(:mod:`repro.core.external_sort`) one level up:
+
+1. **Run formation** — read runs of ``R`` atoms into cache, sort them
+   privately, write back.
+2. **Merge-split network** — Batcher's odd-even mergesort over the runs;
+   each comparator reads both runs, sorts their ``2R`` atoms in cache,
+   and writes the low half to the first run and the high half to the
+   second.
+
+Cost: ``O(n (1 + log^2(n / R)))`` block I/Os per input array.  ``R`` is
+sized so one comparator (two runs of every parallel array plus the key
+side-car) fits in private memory, so a bigger cache means fewer I/Os —
+the cache-awareness the loose-compaction analysis (Theorem 8) relies on.
+
+Parallel arrays are permuted identically (a (meta, payload) pair stays
+aligned): internally every atom drags one side-car key block that is
+filled by ``key_fn`` once at the start; padding atoms carry an explicit
+"pad" flag and sort last.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.em.block import NULL_KEY, RECORD_WIDTH
+from repro.em.machine import EMMachine
+from repro.em.storage import EMArray
+from repro.networks.odd_even import batcher_pairs
+from repro.util.mathx import ceil_div, next_pow2
+
+__all__ = ["oblivious_block_sort"]
+
+#: Extracts the sort key from a block, in cache.  Default: the key of the
+#: block's first record.
+KeyFn = Callable[[np.ndarray], int]
+
+
+def _default_key(block: np.ndarray) -> int:
+    return int(block[0, 0])
+
+
+def oblivious_block_sort(
+    machine: EMMachine,
+    arrays: Sequence[EMArray],
+    *,
+    key_fn: KeyFn = _default_key,
+    num_blocks: int | None = None,
+    run_blocks: int | None = None,
+) -> None:
+    """Sort blocks in place across one or more parallel arrays.
+
+    ``arrays[0]`` carries the key (extracted by ``key_fn``); any further
+    arrays are permuted identically.  All arrays must have at least
+    ``num_blocks`` blocks (default: the length of the first array).
+    """
+    if not arrays:
+        raise ValueError("need at least one array to sort")
+    n = arrays[0].num_blocks if num_blocks is None else num_blocks
+    for arr in arrays:
+        if arr.num_blocks < n:
+            raise ValueError(
+                f"array {arr.name!r} shorter ({arr.num_blocks}) than sort length {n}"
+            )
+    if n <= 1:
+        return
+    width = len(arrays) + 1  # payload arrays plus the key side-car
+    m = machine.cache.capacity_blocks
+    B = machine.B
+    if run_blocks is None:
+        # No point in runs longer than the data itself.
+        run_blocks = max(1, min(n, (m - 2) // (2 * width)))
+    R = run_blocks
+    if 2 * R * width > m:
+        raise ValueError(
+            f"run_blocks={R} with {len(arrays)} arrays needs "
+            f"{2 * R * width} cache blocks; only {m} available"
+        )
+    num_runs = ceil_div(n, R)
+    size = num_runs * R
+
+    # Working copies (padded to whole runs) plus the key side-car.
+    work = [machine.alloc(size, f"{arr.name}.bsort") for arr in arrays]
+    keys = machine.alloc(size, f"{arrays[0].name}.bsort.key")
+    empty = np.full((B, RECORD_WIDTH), 0, dtype=np.int64)
+    empty[:, 0] = NULL_KEY
+    with machine.cache.hold(width):
+        for j in range(size):
+            if j < n:
+                primary = machine.read(arrays[0], j)
+                machine.write(work[0], j, primary)
+                for t in range(1, len(arrays)):
+                    machine.write(work[t], j, machine.read(arrays[t], j))
+                kb = empty.copy()
+                kb[0, 0] = key_fn(primary)
+                kb[0, 1] = 0  # real atom
+                machine.write(keys, j, kb)
+            else:
+                for t in range(len(arrays)):
+                    machine.write(work[t], j, empty)
+                kb = empty.copy()
+                kb[0, 0] = 0
+                kb[0, 1] = 1  # pad atom: sorts last
+                machine.write(keys, j, kb)
+
+    def load_run(lo: int) -> tuple[list[tuple[int, int]], list[list[np.ndarray]]]:
+        """Read ``R`` atoms starting at ``lo``; returns (sort keys, blocks)."""
+        atom_keys = []
+        atom_blocks = []
+        for j in range(lo, lo + R):
+            kb = machine.read(keys, j)
+            atom_keys.append((int(kb[0, 1]), int(kb[0, 0])))
+            atom_blocks.append(
+                [kb] + [machine.read(work[t], j) for t in range(len(arrays))]
+            )
+        return atom_keys, atom_blocks
+
+    def store_atoms(lo: int, order: list[int], atom_blocks) -> None:
+        for offset, src in enumerate(order):
+            j = lo + offset
+            machine.write(keys, j, atom_blocks[src][0])
+            for t in range(len(arrays)):
+                machine.write(work[t], j, atom_blocks[src][t + 1])
+
+    # Phase 1: sort each run in cache.
+    with machine.cache.hold(R * width):
+        for run in range(num_runs):
+            lo = run * R
+            atom_keys, atom_blocks = load_run(lo)
+            order = sorted(range(R), key=lambda i: atom_keys[i])
+            store_atoms(lo, order, atom_blocks)
+
+    # Phase 2: Batcher merge-split over runs.
+    if num_runs > 1:
+        netsize = next_pow2(num_runs)
+        with machine.cache.hold(2 * R * width):
+            for los, his in batcher_pairs(netsize):
+                for a, b in zip(los.tolist(), his.tolist()):
+                    if b >= num_runs:
+                        continue  # virtual all-pad run: no-op
+                    ka, blocks_a = load_run(a * R)
+                    kb_, blocks_b = load_run(b * R)
+                    atom_keys = ka + kb_
+                    atom_blocks = blocks_a + blocks_b
+                    order = sorted(range(2 * R), key=lambda i: atom_keys[i])
+                    store_atoms(a * R, order[:R], atom_blocks)
+                    store_atoms(b * R, order[R:], atom_blocks)
+
+    # Copy the first n atoms back.
+    with machine.cache.hold(1):
+        for j in range(n):
+            for t in range(len(arrays)):
+                machine.write(arrays[t], j, machine.read(work[t], j))
+    for w in work:
+        machine.free(w)
+    machine.free(keys)

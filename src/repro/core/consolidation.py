@@ -1,0 +1,194 @@
+"""Data consolidation (paper §3, Lemma 3) and multi-way consolidation (§5).
+
+Consolidation is the preprocessing step all compaction algorithms share:
+one scan converts an array with scattered distinguished *records* into an
+array whose *blocks* are each completely full of distinguished records or
+completely empty of them (plus at most one partial block at the end) —
+after which every algorithm can work at block granularity.
+
+The multi-way variant groups records by one of ``q + 1`` colours instead
+of a binary distinguished/plain split; the oblivious sort (§5) uses it to
+prepare monochromatic blocks for the shuffle-and-deal distribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.em.block import NULL_KEY, RECORD_WIDTH, is_empty
+from repro.em.machine import EMMachine
+from repro.em.storage import EMArray
+
+__all__ = [
+    "ConsolidationResult",
+    "MultiwayConsolidationResult",
+    "consolidate",
+    "multiway_consolidate",
+]
+
+#: In-cache predicate: records ``(k, 2)`` -> boolean mask of distinguished.
+RecordPredicate = Callable[[np.ndarray], np.ndarray]
+
+
+def _nonempty(records: np.ndarray) -> np.ndarray:
+    return ~is_empty(records)
+
+
+def _empty_block(B: int) -> np.ndarray:
+    blk = np.full((B, RECORD_WIDTH), 0, dtype=np.int64)
+    blk[:, 0] = NULL_KEY
+    return blk
+
+
+def _pack_block(records: np.ndarray, B: int) -> np.ndarray:
+    blk = _empty_block(B)
+    blk[: len(records)] = records
+    return blk
+
+
+@dataclass
+class ConsolidationResult:
+    """Output of :func:`consolidate`.
+
+    ``num_distinguished`` and ``num_full_blocks`` are *private* values —
+    Alice learns them during the scan, Bob does not (they are not
+    reflected in the access pattern).
+    """
+
+    array: EMArray
+    num_distinguished: int
+    num_full_blocks: int
+
+
+def consolidate(
+    machine: EMMachine,
+    A: EMArray,
+    *,
+    distinguished_fn: RecordPredicate = _nonempty,
+) -> ConsolidationResult:
+    """Consolidate distinguished records of ``A`` into full blocks (Lemma 3).
+
+    Returns an array of ``A.num_blocks + 1`` blocks, each either full of
+    distinguished records or containing none (the final block may be
+    partial).  The relative order of distinguished records is preserved.
+    Uses exactly ``A.num_blocks`` reads and ``A.num_blocks + 1`` writes —
+    a plain scan, trivially data-oblivious.
+    """
+    n = A.num_blocks
+    B = machine.B
+    out = machine.alloc(n + 1, f"{A.name}.consolidated")
+    pending = np.empty((0, RECORD_WIDTH), dtype=np.int64)  # < B records, in cache
+    count = 0
+    full_blocks = 0
+    with machine.cache.hold(3):
+        for j in range(n):
+            block = machine.read(A, j)
+            picked = block[distinguished_fn(block)]
+            count += len(picked)
+            pending = np.concatenate([pending, picked])
+            if len(pending) >= B:
+                machine.write(out, j, _pack_block(pending[:B], B))
+                pending = pending[B:]
+                full_blocks += 1
+            else:
+                machine.write(out, j, _empty_block(B))
+        machine.write(out, n, _pack_block(pending, B))
+        if len(pending) == B:
+            full_blocks += 1
+    return ConsolidationResult(out, count, full_blocks)
+
+
+#: In-cache colour assignment: records ``(k, 2)`` -> int colours in
+#: ``[0, num_colors)``; empty cells may be given any colour (ignored).
+ColorFn = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class MultiwayConsolidationResult:
+    """Output of :func:`multiway_consolidate`.
+
+    ``color_counts`` (records per colour) is private to Alice.
+    """
+
+    array: EMArray
+    color_counts: np.ndarray
+
+
+def multiway_consolidate(
+    machine: EMMachine,
+    A: EMArray,
+    num_colors: int,
+    color_fn: ColorFn,
+) -> MultiwayConsolidationResult:
+    """(q+1)-way consolidation (paper §5): make every block monochromatic.
+
+    Processes ``num_colors`` input blocks per round and writes exactly
+    ``num_colors`` output blocks per round (full monochromatic blocks
+    first, empty blocks as padding), then flushes ``2 * num_colors`` final
+    blocks.  The access pattern is a fixed function of the array length
+    and ``num_colors``.
+
+    Needs private memory for about ``3 * num_colors`` blocks.
+    """
+    if num_colors < 1:
+        raise ValueError(f"need at least one colour, got {num_colors}")
+    n = A.num_blocks
+    B = machine.B
+    rounds = -(-n // num_colors) if n else 0
+    out = machine.alloc(rounds * num_colors + 2 * num_colors, f"{A.name}.colors")
+    buffers: list[np.ndarray] = [
+        np.empty((0, RECORD_WIDTH), dtype=np.int64) for _ in range(num_colors)
+    ]
+    color_counts = np.zeros(num_colors, dtype=np.int64)
+    write_pos = 0
+    with machine.cache.hold(min(machine.cache.capacity_blocks, 3 * num_colors + 1)):
+        for rnd in range(rounds):
+            lo = rnd * num_colors
+            hi = min(lo + num_colors, n)
+            for j in range(lo, hi):
+                block = machine.read(A, j)
+                real = block[~is_empty(block)]
+                if len(real) == 0:
+                    continue
+                colors = np.asarray(color_fn(real), dtype=np.int64)
+                if np.any((colors < 0) | (colors >= num_colors)):
+                    raise ValueError("color_fn produced an out-of-range colour")
+                for c in range(num_colors):
+                    sel = real[colors == c]
+                    if len(sel):
+                        buffers[c] = np.concatenate([buffers[c], sel])
+                        color_counts[c] += len(sel)
+            # Emit exactly num_colors blocks: full monochromatic ones first.
+            emitted = 0
+            for c in range(num_colors):
+                while emitted < num_colors and len(buffers[c]) >= B:
+                    machine.write(out, write_pos, _pack_block(buffers[c][:B], B))
+                    buffers[c] = buffers[c][B:]
+                    write_pos += 1
+                    emitted += 1
+            while emitted < num_colors:
+                machine.write(out, write_pos, _empty_block(B))
+                write_pos += 1
+                emitted += 1
+        # Final flush: exactly 2 * num_colors blocks, as full as possible.
+        emitted = 0
+        for c in range(num_colors):
+            while len(buffers[c]) > 0:
+                take = min(B, len(buffers[c]))
+                machine.write(out, write_pos, _pack_block(buffers[c][:take], B))
+                buffers[c] = buffers[c][take:]
+                write_pos += 1
+                emitted += 1
+        if emitted > 2 * num_colors:
+            raise AssertionError(
+                "multiway consolidation flush invariant violated "
+                f"({emitted} > {2 * num_colors} blocks)"
+            )
+        while emitted < 2 * num_colors:
+            machine.write(out, write_pos, _empty_block(B))
+            write_pos += 1
+            emitted += 1
+    return MultiwayConsolidationResult(out, color_counts)

@@ -1,0 +1,101 @@
+"""Deterministic data-oblivious external-memory sort (the paper's Lemma 2).
+
+The paper invokes the Goodrich–Mitzenmacher deterministic oblivious sort
+using ``O((N/B) log^2_{M/B}(N/B))`` I/Os as a black box.  We implement the
+classical equivalent with the same log-squared shape:
+
+1. **Run formation** — read runs of ``R = floor((m - 2) / 2)`` blocks into
+   cache, sort them privately, write them back (``O(N/B)`` I/Os; in-cache
+   computation is invisible to the adversary).
+2. **Merge-split network** — apply Batcher's odd-even mergesort over the
+   runs, where each comparator reads both runs into cache, merges their
+   records, and writes the low half back to the first run and the high
+   half to the second.  Replacing compare-exchange by merge-split turns a
+   network that sorts ``k`` keys into one that sorts ``k`` sorted runs
+   (Knuth §5.3.4), and every comparator's I/O pattern is fixed.
+
+Total: ``O((N/B) (1 + log^2(N/M)))`` I/Os, data-oblivious because both
+phases' access sequences are fixed functions of ``(N, M, B)``.
+
+Empty cells sort last (as ``+inf``), so sorting doubles as tight
+order-destroying compaction; sorting by unique keys (e.g. original
+positions) makes it order-preserving.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.em.block import NULL_KEY, RECORD_WIDTH
+from repro.em.machine import EMMachine
+from repro.em.storage import EMArray
+from repro.networks.comparator import sort_records
+from repro.networks.odd_even import batcher_pairs
+from repro.util.mathx import ceil_div, next_pow2
+
+__all__ = ["oblivious_external_sort"]
+
+
+def oblivious_external_sort(
+    machine: EMMachine,
+    A: EMArray,
+    *,
+    run_blocks: int | None = None,
+) -> EMArray:
+    """Sort the records of ``A`` by key, empties last (Lemma 2 stand-in).
+
+    Returns a new array of ``ceil(n / R) * R`` blocks (the input padded to
+    whole runs with empty blocks); ``A`` is left untouched.  ``run_blocks``
+    overrides the run size (defaults to half the cache minus slack, the
+    largest size for which a comparator's two runs fit in cache).
+    """
+    n = A.num_blocks
+    B = machine.B
+    m = machine.cache.capacity_blocks
+    if run_blocks is None:
+        run_blocks = max(1, (m - 2) // 2)
+    if 2 * run_blocks > m:
+        raise ValueError(
+            f"run_blocks={run_blocks} needs 2*run_blocks <= M/B = {m} "
+            "so a merge-split fits in private memory"
+        )
+    R = run_blocks
+    num_runs = max(1, ceil_div(n, R))
+    out = machine.alloc(num_runs * R, f"{A.name}.sorted")
+
+    empty = np.full((B, RECORD_WIDTH), 0, dtype=np.int64)
+    empty[:, 0] = NULL_KEY
+
+    # Phase 1: form sorted runs (copying A into the padded output).
+    with machine.cache.hold(R):
+        for run in range(num_runs):
+            lo = run * R
+            blocks = []
+            for j in range(lo, lo + R):
+                blocks.append(machine.read(A, j) if j < n else empty.copy())
+            records = np.concatenate(blocks)
+            records = sort_records(records)
+            stacked = records.reshape(R, B, RECORD_WIDTH)
+            for t in range(R):
+                machine.write(out, lo + t, stacked[t])
+
+    if num_runs == 1:
+        return out
+
+    # Phase 2: Batcher network over runs with oblivious merge-split.
+    size = next_pow2(num_runs)
+    with machine.cache.hold(2 * R):
+        for los, his in batcher_pairs(size):
+            for a, b in zip(los.tolist(), his.tolist()):
+                if b >= num_runs:
+                    continue  # virtual +inf run: comparator is a no-op
+                lo_a, lo_b = a * R, b * R
+                blocks_a = [machine.read(out, lo_a + t) for t in range(R)]
+                blocks_b = [machine.read(out, lo_b + t) for t in range(R)]
+                merged = sort_records(np.concatenate(blocks_a + blocks_b))
+                stacked = merged.reshape(2 * R, B, RECORD_WIDTH)
+                for t in range(R):
+                    machine.write(out, lo_a + t, stacked[t])
+                for t in range(R):
+                    machine.write(out, lo_b + t, stacked[R + t])
+    return out

@@ -1,0 +1,74 @@
+"""Randomized thinning passes (paper §3, "A-to-C thinning pass").
+
+A thinning pass scans ``A`` once; for each block it draws a uniformly
+random target cell in ``C``, reads it, and — if the target is empty, the
+block is distinguished, and it has not been copied yet — moves the block
+into ``C``.  In all cases it writes both cells back (re-encrypted), so
+the adversary sees the identical pattern
+``read A[i], read C[j], write C[j], write A[i]`` with ``j`` drawn from
+Alice's randomness: data-oblivious by construction.
+
+After a successful move the source block in ``A`` becomes empty, which is
+how "has not been copied yet" is represented (the paper's "simple bit").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.em.block import NULL_KEY, RECORD_WIDTH, is_empty
+from repro.em.machine import EMMachine
+from repro.em.storage import EMArray
+
+__all__ = ["thinning_pass", "thinning_rounds"]
+
+
+def _empty_block(B: int) -> np.ndarray:
+    blk = np.full((B, RECORD_WIDTH), 0, dtype=np.int64)
+    blk[:, 0] = NULL_KEY
+    return blk
+
+
+def thinning_pass(
+    machine: EMMachine,
+    A: EMArray,
+    C: EMArray,
+    rng: np.random.Generator,
+) -> int:
+    """One A-to-C thinning pass; returns the number of blocks moved
+    (a private count — the access pattern does not depend on it)."""
+    nc = C.num_blocks
+    if nc == 0:
+        raise ValueError("target array C must be non-empty")
+    B = machine.B
+    moved = 0
+    # Draw all targets up front: one uniform index per source block.
+    targets = rng.integers(0, nc, size=A.num_blocks)
+    with machine.cache.hold(2):
+        for i in range(A.num_blocks):
+            j = int(targets[i])
+            src = machine.read(A, i)
+            dst = machine.read(C, j)
+            src_occupied = bool(np.any(~is_empty(src)))
+            dst_empty = bool(is_empty(dst).all())
+            if src_occupied and dst_empty:
+                machine.write(C, j, src)
+                machine.write(A, i, _empty_block(B))
+                moved += 1
+            else:
+                machine.write(C, j, dst)
+                machine.write(A, i, src)
+    return moved
+
+
+def thinning_rounds(
+    machine: EMMachine,
+    A: EMArray,
+    C: EMArray,
+    rounds: int,
+    rng: np.random.Generator,
+) -> int:
+    """Run ``rounds`` thinning passes; returns total blocks moved."""
+    if rounds < 0:
+        raise ValueError(f"rounds must be non-negative, got {rounds}")
+    return sum(thinning_pass(machine, A, C, rng) for _ in range(rounds))

@@ -1,0 +1,40 @@
+"""The honest-but-curious adversary's view.
+
+Bob sees the access trace (operation kinds, array ids, block addresses and
+their order) plus ciphertext versions.  He does not see plaintext, nor
+Alice's cache.  :class:`AdversaryView` packages exactly that information so
+tests can phrase obliviousness as "the adversary's complete view is
+identical across runs on different data".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.em.machine import EMMachine
+
+__all__ = ["AdversaryView"]
+
+
+@dataclass(frozen=True)
+class AdversaryView:
+    """Everything Bob learns from one run."""
+
+    trace_fingerprint: str
+    num_events: int
+    num_reads: int
+    num_writes: int
+
+    @classmethod
+    def observe(cls, machine: EMMachine) -> "AdversaryView":
+        """Capture the adversary's view of everything the machine did."""
+        return cls(
+            trace_fingerprint=machine.trace.fingerprint(),
+            num_events=len(machine.trace),
+            num_reads=machine.reads,
+            num_writes=machine.writes,
+        )
+
+    def indistinguishable_from(self, other: "AdversaryView") -> bool:
+        """True when two runs are identical in the adversary's eyes."""
+        return self == other

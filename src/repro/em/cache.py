@@ -1,0 +1,80 @@
+"""Alice's private cache.
+
+The external-memory model grants the client a private memory of ``M``
+words, i.e. ``M // B`` blocks.  The substrate enforces the budget with a
+lease discipline: algorithm phases reserve the number of blocks they hold
+simultaneously and release on exit.  Exceeding ``M`` raises
+:class:`CacheOverflowError` — making the paper's "M >= 2B", "M >= 3B" and
+tall-cache preconditions executable rather than aspirational.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.em.errors import EMError
+
+__all__ = ["ClientCache", "CacheOverflowError"]
+
+
+class CacheOverflowError(EMError):
+    """An algorithm tried to hold more private memory than the model grants."""
+
+
+class ClientCache:
+    """Block-granularity accounting for Alice's private memory."""
+
+    __slots__ = ("capacity_blocks", "_in_use", "high_water")
+
+    def __init__(self, capacity_blocks: int) -> None:
+        if capacity_blocks < 1:
+            raise ValueError(
+                f"cache must hold at least one block, got {capacity_blocks}"
+            )
+        self.capacity_blocks = capacity_blocks
+        self._in_use = 0
+        #: Largest number of blocks ever held at once — lets tests assert
+        #: an algorithm stayed within its claimed memory bound.
+        self.high_water = 0
+
+    @property
+    def in_use(self) -> int:
+        """Number of blocks currently leased."""
+        return self._in_use
+
+    @property
+    def available(self) -> int:
+        """Number of blocks that can still be leased."""
+        return self.capacity_blocks - self._in_use
+
+    def reserve(self, nblocks: int) -> None:
+        """Lease ``nblocks`` blocks of private memory."""
+        if nblocks < 0:
+            raise ValueError(f"cannot reserve a negative amount ({nblocks})")
+        if self._in_use + nblocks > self.capacity_blocks:
+            raise CacheOverflowError(
+                f"requested {nblocks} blocks with {self._in_use} in use; "
+                f"capacity is {self.capacity_blocks} blocks (M/B)"
+            )
+        self._in_use += nblocks
+        self.high_water = max(self.high_water, self._in_use)
+
+    def release(self, nblocks: int) -> None:
+        """Return ``nblocks`` previously leased blocks."""
+        if nblocks < 0:
+            raise ValueError(f"cannot release a negative amount ({nblocks})")
+        if nblocks > self._in_use:
+            raise EMError(
+                f"releasing {nblocks} blocks but only {self._in_use} are leased"
+            )
+        self._in_use -= nblocks
+
+    @contextmanager
+    def hold(self, nblocks: int) -> Iterator[None]:
+        """Context manager leasing ``nblocks`` for the duration of a phase."""
+        self.reserve(nblocks)
+        try:
+            yield
+        finally:
+            self.release(nblocks)

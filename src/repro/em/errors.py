@@ -1,0 +1,13 @@
+"""Exception hierarchy for the external-memory substrate."""
+
+from __future__ import annotations
+
+__all__ = ["EMError", "OutOfBoundsError"]
+
+
+class EMError(Exception):
+    """Base class for all external-memory model violations."""
+
+
+class OutOfBoundsError(EMError, IndexError):
+    """A block address outside the allocated array was accessed."""

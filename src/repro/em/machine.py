@@ -1,0 +1,190 @@
+"""The external-memory machine: Alice's view of the world.
+
+``EMMachine(M, B)`` bundles the client cache, the server-side arrays, the
+I/O counters and the access trace.  Every algorithm in the library takes a
+machine (or an array belonging to one) and performs all server access via
+:meth:`read` / :meth:`write`, so I/O counts and traces are complete by
+construction.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.em.block import RECORD_WIDTH
+from repro.em.cache import ClientCache
+from repro.em.errors import EMError
+from repro.em.storage import EMArray
+from repro.em.trace import AccessTrace, Op
+
+__all__ = ["EMMachine", "IOMeter"]
+
+
+@dataclass
+class IOMeter:
+    """Counts of I/Os observed between two points in time."""
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+
+class EMMachine:
+    """An external-memory machine with cache size ``M`` and block size ``B``.
+
+    Parameters
+    ----------
+    M:
+        Client private memory, in *words* (records).  Must be at least
+        ``2 * B`` (the weakest assumption any algorithm in the paper makes).
+    B:
+        Words per block, ``B >= 1``.
+    trace:
+        Record the adversary-visible access trace (default True).  Large
+        benchmark runs may disable it; I/O counters are always maintained.
+    """
+
+    def __init__(self, M: int, B: int, *, trace: bool = True) -> None:
+        if B < 1:
+            raise ValueError(f"block size B must be >= 1, got {B}")
+        if M < 2 * B:
+            raise ValueError(f"private memory M={M} violates M >= 2B (B={B})")
+        self.M = M
+        self.B = B
+        self.cache = ClientCache(M // B)
+        self.trace = AccessTrace()
+        self.trace.enabled = trace
+        self.reads = 0
+        self.writes = 0
+        self._arrays: dict[int, EMArray] = {}
+        self._next_id = 0
+
+    # -- model parameters -------------------------------------------------
+
+    @property
+    def m(self) -> int:
+        """Number of blocks that fit in private memory (``M // B``)."""
+        return self.M // self.B
+
+    @property
+    def total_ios(self) -> int:
+        """Total I/Os performed since construction."""
+        return self.reads + self.writes
+
+    # -- allocation --------------------------------------------------------
+
+    def alloc(self, num_blocks: int, name: str = "") -> EMArray:
+        """Allocate a server-side array of ``num_blocks`` blocks.
+
+        Allocation is adversary-visible (Bob provisions the space), so an
+        ``ALLOC`` event carrying the length is traced.
+        """
+        arr = EMArray(self._next_id, name or f"arr{self._next_id}", num_blocks, self.B)
+        self._arrays[arr.array_id] = arr
+        self._next_id += 1
+        self.trace.record(Op.ALLOC, arr.array_id, num_blocks)
+        return arr
+
+    def alloc_cells(self, num_cells: int, name: str = "") -> EMArray:
+        """Allocate an array with room for at least ``num_cells`` records."""
+        num_blocks = -(-num_cells // self.B) if num_cells > 0 else 0
+        return self.alloc(num_blocks, name)
+
+    def free(self, arr: EMArray) -> None:
+        """Release a server-side array (adversary-visible)."""
+        if arr.array_id not in self._arrays:
+            raise EMError(f"array {arr.name!r} is not owned by this machine")
+        del self._arrays[arr.array_id]
+        self.trace.record(Op.FREE, arr.array_id, arr.num_blocks)
+
+    # -- block I/O ----------------------------------------------------------
+
+    def read(self, arr: EMArray, index: int) -> np.ndarray:
+        """Read block ``index`` of ``arr`` into private memory (1 I/O)."""
+        self._own(arr)
+        block = arr._read(index)
+        self.reads += 1
+        self.trace.record(Op.READ, arr.array_id, index)
+        return block
+
+    def write(self, arr: EMArray, index: int, block: np.ndarray) -> None:
+        """Write ``block`` to block ``index`` of ``arr`` (1 I/O).
+
+        The server stores a fresh ciphertext regardless of whether the
+        plaintext changed — the version bump in
+        :class:`repro.em.crypto.CiphertextVersions` models re-encryption.
+        """
+        self._own(arr)
+        arr._write(index, np.asarray(block, dtype=np.int64))
+        self.writes += 1
+        self.trace.record(Op.WRITE, arr.array_id, index)
+
+    def read_range(self, arr: EMArray, start: int, count: int) -> np.ndarray:
+        """Read ``count`` consecutive blocks (``count`` I/Os) as one array.
+
+        Returns shape ``(count, B, 2)``.  The trace records each block read
+        individually, as the adversary would see them.
+        """
+        self._own(arr)
+        if count < 0 or start < 0 or start + count > arr.num_blocks:
+            arr._check(start)
+            arr._check(start + count - 1)
+        out = arr._data[start : start + count].copy()
+        self.reads += count
+        if self.trace.enabled:
+            for i in range(start, start + count):
+                self.trace.record(Op.READ, arr.array_id, i)
+        return out
+
+    def write_range(self, arr: EMArray, start: int, blocks: np.ndarray) -> None:
+        """Write consecutive ``blocks`` starting at ``start`` (len I/Os)."""
+        self._own(arr)
+        blocks = np.asarray(blocks, dtype=np.int64)
+        if blocks.ndim != 3 or blocks.shape[1:] != (self.B, RECORD_WIDTH):
+            raise ValueError(
+                f"blocks must have shape (k, {self.B}, {RECORD_WIDTH}), "
+                f"got {blocks.shape}"
+            )
+        count = blocks.shape[0]
+        if start < 0 or start + count > arr.num_blocks:
+            arr._check(start)
+            arr._check(start + count - 1)
+        arr._data[start : start + count] = blocks
+        for i in range(start, start + count):
+            arr.versions.reencrypt(i)
+        self.writes += count
+        if self.trace.enabled:
+            for i in range(start, start + count):
+                self.trace.record(Op.WRITE, arr.array_id, i)
+
+    # -- metering ------------------------------------------------------------
+
+    @contextmanager
+    def meter(self) -> Iterator[IOMeter]:
+        """Measure the I/Os performed inside a ``with`` body."""
+        start_r, start_w = self.reads, self.writes
+        m = IOMeter()
+        try:
+            yield m
+        finally:
+            m.reads = self.reads - start_r
+            m.writes = self.writes - start_w
+
+    # -- internals -------------------------------------------------------------
+
+    def _own(self, arr: EMArray) -> None:
+        if self._arrays.get(arr.array_id) is not arr:
+            raise EMError(f"array {arr.name!r} is not owned by this machine")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EMMachine(M={self.M}, B={self.B}, reads={self.reads}, "
+            f"writes={self.writes}, arrays={len(self._arrays)})"
+        )

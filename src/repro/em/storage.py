@@ -1,0 +1,117 @@
+"""Server-side arrays (Bob's disk).
+
+An :class:`EMArray` is a named, fixed-length array of blocks living on the
+simulated server.  All access goes through :class:`repro.em.machine.EMMachine`
+so that I/Os are counted and traced; direct access to the backing store is
+exposed only through the explicitly "omniscient" ``raw`` view used by tests
+and result extraction (never by the algorithms themselves).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.em.block import NULL_KEY, RECORD_WIDTH, is_empty
+from repro.em.crypto import CiphertextVersions
+from repro.em.errors import OutOfBoundsError
+
+__all__ = ["EMArray"]
+
+
+class EMArray:
+    """A fixed-size array of ``num_blocks`` blocks of ``B`` records each.
+
+    Created via :meth:`repro.em.machine.EMMachine.alloc`; not constructed
+    directly by user code.
+    """
+
+    __slots__ = ("array_id", "name", "num_blocks", "B", "_data", "versions")
+
+    def __init__(self, array_id: int, name: str, num_blocks: int, B: int) -> None:
+        if num_blocks < 0:
+            raise ValueError(f"num_blocks must be non-negative, got {num_blocks}")
+        if B < 1:
+            raise ValueError(f"block size B must be >= 1, got {B}")
+        self.array_id = array_id
+        self.name = name
+        self.num_blocks = num_blocks
+        self.B = B
+        self._data = np.full((num_blocks, B, RECORD_WIDTH), 0, dtype=np.int64)
+        self._data[:, :, 0] = NULL_KEY
+        self.versions = CiphertextVersions(num_blocks)
+
+    # -- server-side primitives (called only by EMMachine) ---------------
+
+    def _read(self, index: int) -> np.ndarray:
+        """Return a *copy* of block ``index`` (reads must not alias disk)."""
+        self._check(index)
+        return self._data[index].copy()
+
+    def _write(self, index: int, block: np.ndarray) -> None:
+        """Overwrite block ``index`` with a copy of ``block``."""
+        self._check(index)
+        if block.shape != (self.B, RECORD_WIDTH):
+            raise ValueError(
+                f"block shape {block.shape} does not match (B={self.B}, {RECORD_WIDTH})"
+            )
+        self._data[index] = block
+        self.versions.reencrypt(index)
+
+    def _check(self, index: int) -> None:
+        if not (0 <= index < self.num_blocks):
+            raise OutOfBoundsError(
+                f"block {index} out of range for array '{self.name}' "
+                f"of {self.num_blocks} blocks"
+            )
+
+    # -- omniscient views (tests / final result extraction only) ---------
+
+    @property
+    def raw(self) -> np.ndarray:
+        """The backing ``(num_blocks, B, 2)`` store.
+
+        This is the *omniscient* view: using it does not count I/Os and is
+        reserved for assertions in tests and for reading final outputs
+        after an algorithm completes.  Library algorithms never touch it.
+        """
+        return self._data
+
+    def flat(self) -> np.ndarray:
+        """Return all cells as a flat ``(num_blocks * B, 2)`` copy (omniscient)."""
+        return self._data.reshape(-1, RECORD_WIDTH).copy()
+
+    def nonempty(self) -> np.ndarray:
+        """Return the non-empty records in array order (omniscient)."""
+        cells = self._data.reshape(-1, RECORD_WIDTH)
+        return cells[~is_empty(cells)].copy()
+
+    def load_flat(self, records: np.ndarray) -> None:
+        """Bulk-load ``records`` into the array, padding with empties.
+
+        Omniscient setup helper for building problem instances; does not
+        count I/Os (the input is considered to pre-exist on the server).
+        """
+        records = np.asarray(records, dtype=np.int64)
+        if records.ndim != 2 or records.shape[1] != RECORD_WIDTH:
+            raise ValueError(f"records must have shape (n, 2), got {records.shape}")
+        capacity = self.num_blocks * self.B
+        if len(records) > capacity:
+            raise ValueError(
+                f"{len(records)} records exceed capacity {capacity} "
+                f"of array '{self.name}'"
+            )
+        flat = self._data.reshape(-1, RECORD_WIDTH)
+        flat[:, 0] = NULL_KEY
+        flat[:, 1] = 0
+        flat[: len(records)] = records
+
+    @property
+    def num_cells(self) -> int:
+        """Total number of record cells (``num_blocks * B``)."""
+        return self.num_blocks * self.B
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"EMArray(id={self.array_id}, name={self.name!r}, "
+            f"blocks={self.num_blocks}, B={self.B})"
+        )

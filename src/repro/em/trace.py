@@ -1,0 +1,130 @@
+"""Access traces — the adversary's transcript.
+
+Bob observes, for each of Alice's I/Os, the operation kind (read or write),
+which array it touched, and the block address.  He does *not* observe block
+contents (they are semantically encrypted, see :mod:`repro.em.crypto`).
+
+The obliviousness contract of the paper (§1) says the *distribution* of
+this transcript must be independent of the data values; because all of our
+randomized algorithms draw from an explicit seeded generator, fixing the
+seed makes the transcript a deterministic function of ``(P, N, M, B)``, so
+the verifier can demand byte-identical transcripts across adversarially
+chosen inputs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["Op", "TraceEvent", "AccessTrace"]
+
+
+class Op(IntEnum):
+    """Operation kinds visible to the adversary."""
+
+    READ = 0
+    WRITE = 1
+    ALLOC = 2
+    FREE = 3
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One adversary-visible event: ``op`` on block ``index`` of ``array_id``.
+
+    For ``ALLOC`` events, ``index`` carries the array length in blocks (the
+    adversary can see how much space Alice provisions).
+    """
+
+    op: Op
+    array_id: int
+    index: int
+
+
+class AccessTrace:
+    """Append-only transcript of adversary-visible events.
+
+    Events are stored in flat Python lists (appends dominate) and exported
+    as a ``(n, 3)`` int64 array for fingerprinting and analysis.
+    """
+
+    __slots__ = ("_ops", "_arrays", "_indices", "enabled")
+
+    def __init__(self) -> None:
+        self._ops: list[int] = []
+        self._arrays: list[int] = []
+        self._indices: list[int] = []
+        #: When False, ``record`` is a no-op.  Benchmarks that only need
+        #: I/O counts can disable tracing to cut overhead.
+        self.enabled: bool = True
+
+    def record(self, op: Op, array_id: int, index: int) -> None:
+        """Append one event (no-op when tracing is disabled)."""
+        if not self.enabled:
+            return
+        self._ops.append(int(op))
+        self._arrays.append(array_id)
+        self._indices.append(index)
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        for op, arr, idx in zip(self._ops, self._arrays, self._indices):
+            yield TraceEvent(Op(op), arr, idx)
+
+    def __getitem__(self, i: int) -> TraceEvent:
+        return TraceEvent(Op(self._ops[i]), self._arrays[i], self._indices[i])
+
+    def as_array(self) -> np.ndarray:
+        """Export the transcript as an ``(n, 3)`` int64 array."""
+        if not self._ops:
+            return np.empty((0, 3), dtype=np.int64)
+        return np.column_stack(
+            [
+                np.asarray(self._ops, dtype=np.int64),
+                np.asarray(self._arrays, dtype=np.int64),
+                np.asarray(self._indices, dtype=np.int64),
+            ]
+        )
+
+    def fingerprint(self) -> str:
+        """Return a SHA-256 digest of the transcript.
+
+        Two runs are indistinguishable to the adversary iff their
+        fingerprints match (up to the negligible collision probability).
+        """
+        return hashlib.sha256(self.as_array().tobytes()).hexdigest()
+
+    def shape_fingerprint(self) -> str:
+        """Digest of the transcript's *shape*: ops and array ids, without
+        block indices.
+
+        ORAM-based algorithms are oblivious in distribution rather than
+        trace-identical under a fixed seed (their probe positions are
+        fresh randomness), but their shape — which arrays are touched, in
+        what order, by which operation — is a fixed function of the
+        public parameters and must match exactly.
+        """
+        arr = self.as_array()[:, :2]
+        return hashlib.sha256(np.ascontiguousarray(arr).tobytes()).hexdigest()
+
+    def clear(self) -> None:
+        """Forget all recorded events."""
+        self._ops.clear()
+        self._arrays.clear()
+        self._indices.clear()
+
+    def address_histogram(self) -> dict[tuple[int, int, int], int]:
+        """Return counts of each distinct event — used by the statistical
+        (cross-seed) obliviousness checks."""
+        hist: dict[tuple[int, int, int], int] = {}
+        for op, arr, idx in zip(self._ops, self._arrays, self._indices):
+            key = (op, arr, idx)
+            hist[key] = hist.get(key, 0) + 1
+        return hist

@@ -1,0 +1,6 @@
+"""Invertible Bloom lookup tables (paper §2, Goodrich–Mitzenmacher)."""
+
+from repro.iblt.hashing import PartitionedHashFamily
+from repro.iblt.table import IBLT, ListEntriesResult
+
+__all__ = ["PartitionedHashFamily", "IBLT", "ListEntriesResult"]

@@ -1,0 +1,82 @@
+"""The k-hash-function family used by invertible Bloom lookup tables.
+
+The paper (§2) requires that for any key ``x`` the ``k`` locations
+``h_1(x), ..., h_k(x)`` are *distinct*, "which can be achieved by a number
+of methods, including partitioning".  We use partitioning: the table of
+``m`` cells is split into ``k`` sub-tables of ``m // k`` cells, and
+``h_i`` maps into sub-table ``i``.
+
+Hashes are a salted splitmix64-style integer mix, fully vectorized so the
+oblivious insert pass of Theorem 4 can compute all locations for a batch of
+keys in one NumPy call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["PartitionedHashFamily"]
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+
+
+def _splitmix64(x: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer over uint64 arrays."""
+    x = (x + _GOLDEN).astype(np.uint64)
+    x ^= x >> np.uint64(30)
+    x *= _MIX1
+    x ^= x >> np.uint64(27)
+    x *= _MIX2
+    x ^= x >> np.uint64(31)
+    return x
+
+
+class PartitionedHashFamily:
+    """``k`` independent hash functions into disjoint sub-tables.
+
+    Parameters
+    ----------
+    k:
+        Number of hash functions (the paper needs ``k >= 2``; common
+        practice and Lemma 1's constants favour ``k in {3, 4, 5}``).
+    m:
+        Total number of table cells.  Must be at least ``k`` so every
+        sub-table is non-empty; cells ``[i * part, (i+1) * part)`` belong
+        to function ``i`` where ``part = m // k`` (trailing remainder
+        cells are unused, keeping the partition exact).
+    seed:
+        Salt for the family.  Two families with equal ``(k, m, seed)``
+        are identical — required so the same family can be re-derived on
+        both the insert and the list side.
+    """
+
+    def __init__(self, k: int, m: int, seed: int) -> None:
+        if k < 2:
+            raise ValueError(f"IBLT hash family needs k >= 2, got {k}")
+        if m < k:
+            raise ValueError(f"table of {m} cells cannot host {k} partitions")
+        self.k = k
+        self.m = m
+        self.part = m // k
+        self.seed = seed
+        mix = np.random.default_rng(seed)
+        #: One independent 64-bit salt per hash function.
+        self.salts = mix.integers(0, 2**63, size=k, dtype=np.int64).astype(np.uint64)
+
+    def locations(self, keys: np.ndarray | int) -> np.ndarray:
+        """Return the table cells for ``keys``.
+
+        For an array of ``n`` keys returns shape ``(n, k)``; for a scalar
+        key returns shape ``(k,)``.  Row ``i`` lists ``h_1 .. h_k`` — all
+        distinct by the partition construction.
+        """
+        scalar = np.isscalar(keys)
+        arr = np.atleast_1d(np.asarray(keys, dtype=np.int64)).astype(np.uint64)
+        # shape (n, k): mix key with each salt, reduce into each partition
+        mixed = _splitmix64(arr[:, None] ^ self.salts[None, :])
+        offsets = (mixed % np.uint64(self.part)).astype(np.int64)
+        bases = (np.arange(self.k, dtype=np.int64) * self.part)[None, :]
+        locs = bases + offsets
+        return locs[0] if scalar else locs

@@ -1,0 +1,177 @@
+"""Invertible Bloom lookup table (paper §2).
+
+The structure stores key-value pairs in ``m`` cells, each holding three
+fields: ``count`` (entries mapped here), ``keySum`` and ``valueSum``
+(field-wise sums of the mapped entries).  ``insert``/``delete`` touch
+exactly the ``k`` cells determined by the key — the property Theorem 4
+exploits for oblivious compaction: *the access pattern of an insert depends
+only on the key, never on the value or on how full the table is.*
+
+``list_entries`` is the peeling process: repeatedly find a *pure* cell
+(``count == 1``), output its pair, and delete it, cascading new pure
+cells.  Lemma 1 (Goodrich–Mitzenmacher) guarantees success with
+probability ``1 - 1/n^c`` when ``m >= delta * k * n`` for suitable
+constants.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.iblt.hashing import PartitionedHashFamily
+
+__all__ = ["IBLT", "ListEntriesResult"]
+
+
+@dataclass
+class ListEntriesResult:
+    """Outcome of ``list_entries``: the recovered pairs and completeness."""
+
+    keys: np.ndarray
+    values: np.ndarray
+    complete: bool
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def as_dict(self) -> dict[int, int]:
+        return {int(k): int(v) for k, v in zip(self.keys, self.values)}
+
+
+class IBLT:
+    """In-memory invertible Bloom lookup table over integer key-value pairs.
+
+    Parameters
+    ----------
+    m:
+        Number of cells.  For reliable listing of ``n`` pairs use
+        ``m >= 2 * k * n`` (Lemma 1's ``delta >= 2``); in practice the
+        peeling threshold for ``k = 3`` is near ``m = 1.23 n``.
+    k:
+        Number of hash functions (default 3).
+    seed:
+        Salt for the hash family.
+    """
+
+    def __init__(self, m: int, k: int = 3, seed: int = 0) -> None:
+        if m < k:
+            raise ValueError(f"need at least k={k} cells, got {m}")
+        self.hashes = PartitionedHashFamily(k, m, seed)
+        self.m = m
+        self.k = k
+        self.count = np.zeros(m, dtype=np.int64)
+        self.key_sum = np.zeros(m, dtype=np.int64)
+        self.value_sum = np.zeros(m, dtype=np.int64)
+        #: Net number of pairs currently stored (inserts minus deletes).
+        self.size = 0
+
+    # -- updates ---------------------------------------------------------
+
+    def insert(self, key: int, value: int) -> None:
+        """Insert ``(key, value)``.  Always succeeds; keys must be distinct."""
+        self._apply(key, value, +1)
+        self.size += 1
+
+    def delete(self, key: int, value: int) -> None:
+        """Remove ``(key, value)``; assumes the pair is present (§2)."""
+        self._apply(key, value, -1)
+        self.size -= 1
+
+    def _apply(self, key: int, value: int, sign: int) -> None:
+        for cell in self.hashes.locations(int(key)):
+            self.count[cell] += sign
+            self.key_sum[cell] += sign * int(key)
+            self.value_sum[cell] += sign * int(value)
+
+    def insert_batch(self, keys: np.ndarray, values: np.ndarray) -> None:
+        """Vectorized bulk insert (used by benchmarks and the EM layer)."""
+        keys = np.asarray(keys, dtype=np.int64)
+        values = np.asarray(values, dtype=np.int64)
+        if keys.shape != values.shape:
+            raise ValueError("keys and values must have equal shapes")
+        locs = self.hashes.locations(keys)  # (n, k)
+        for j in range(self.k):
+            np.add.at(self.count, locs[:, j], 1)
+            np.add.at(self.key_sum, locs[:, j], keys)
+            np.add.at(self.value_sum, locs[:, j], values)
+        self.size += len(keys)
+
+    # -- queries ------------------------------------------------------------
+
+    def get(self, key: int):
+        """Return the value for ``key``, or None if it cannot be resolved.
+
+        May fail (return None) even for present keys when all of the key's
+        cells are collided — the failure mode §2 describes.
+        """
+        key = int(key)
+        for cell in self.hashes.locations(key):
+            if self.count[cell] == 0 and self.key_sum[cell] == 0:
+                return None  # provably absent (no entry maps here)
+            if self.count[cell] == 1 and self.key_sum[cell] == key:
+                return int(self.value_sum[cell])
+        return None
+
+    def _pure(self, cell: int) -> bool:
+        """A cell is *pure* when it holds exactly one entry."""
+        if self.count[cell] != 1:
+            return False
+        # Guard against "fake pure" cells (count 1 by cancellation): the
+        # stored keySum must actually hash to this cell.
+        key = int(self.key_sum[cell])
+        return cell in self.hashes.locations(key)
+
+    def list_entries(self, *, destructive: bool = False) -> ListEntriesResult:
+        """Recover all stored pairs by peeling (§2 ``listEntries``).
+
+        By default operates on a copy (the paper's footnote 3 notes the
+        destructive variant should back up the table first); pass
+        ``destructive=True`` to peel in place.
+        """
+        table = self if destructive else self._copy()
+        out_keys: list[int] = []
+        out_values: list[int] = []
+        queue = deque(c for c in range(table.m) if table._pure(c))
+        enqueued = set(queue)
+        while queue:
+            cell = queue.popleft()
+            enqueued.discard(cell)
+            if not table._pure(cell):
+                continue  # stale entry: became impure/empty since enqueued
+            key = int(table.key_sum[cell])
+            value = int(table.value_sum[cell])
+            out_keys.append(key)
+            out_values.append(value)
+            table._apply(key, value, -1)
+            table.size -= 1
+            for other in table.hashes.locations(key):
+                if table._pure(other) and other not in enqueued:
+                    queue.append(other)
+                    enqueued.add(other)
+        complete = not np.any(table.count) and not np.any(table.key_sum)
+        return ListEntriesResult(
+            keys=np.asarray(out_keys, dtype=np.int64),
+            values=np.asarray(out_values, dtype=np.int64),
+            complete=bool(complete),
+        )
+
+    def _copy(self) -> "IBLT":
+        clone = IBLT.__new__(IBLT)
+        clone.hashes = self.hashes
+        clone.m = self.m
+        clone.k = self.k
+        clone.count = self.count.copy()
+        clone.key_sum = self.key_sum.copy()
+        clone.value_sum = self.value_sum.copy()
+        clone.size = self.size
+        return clone
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def is_empty(self) -> bool:
+        return not (np.any(self.count) or np.any(self.key_sum) or np.any(self.value_sum))

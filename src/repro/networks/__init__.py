@@ -1,0 +1,40 @@
+"""Sorting and routing networks.
+
+Deterministic comparator networks (bitonic, Batcher odd-even mergesort),
+the randomized Shellsort of Goodrich [23], and the butterfly-like
+compaction network of Theorem 6 / Figure 1.
+"""
+
+from repro.networks.comparator import (
+    compare_exchange,
+    order_keys,
+    records_sorted,
+    sort_records,
+)
+from repro.networks.bitonic import bitonic_pairs, bitonic_sort
+from repro.networks.odd_even import batcher_pairs, batcher_sort
+from repro.networks.shellsort import randomized_shellsort
+from repro.networks.butterfly import (
+    ButterflyCollisionError,
+    butterfly_compact,
+    butterfly_expand,
+    butterfly_levels_trace,
+    distance_labels,
+)
+
+__all__ = [
+    "compare_exchange",
+    "order_keys",
+    "records_sorted",
+    "sort_records",
+    "bitonic_pairs",
+    "bitonic_sort",
+    "batcher_pairs",
+    "batcher_sort",
+    "randomized_shellsort",
+    "ButterflyCollisionError",
+    "butterfly_compact",
+    "butterfly_expand",
+    "butterfly_levels_trace",
+    "distance_labels",
+]

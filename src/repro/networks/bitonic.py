@@ -1,0 +1,72 @@
+"""Bitonic sorting network (Batcher).
+
+Provides the comparator schedule — a sequence of rounds, each a set of
+disjoint ``(lo, hi)`` index pairs with all comparators oriented
+min-to-``lo`` — and an in-memory sorter applying it.  The schedule for
+``n`` keys has ``O(log^2 n)`` rounds of ``n/2`` comparators; it is the
+work-horse circuit behind the Lemma-2-style deterministic oblivious sorts
+and the ORAM rebuilds.
+
+We generate the *normalized* (monotonically increasing) variant in which
+every comparator points the same way, valid for any ``n`` that is a power
+of two; non-power-of-two inputs are padded with empties (which sort last,
+so padding is harmless).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.em.block import NULL_KEY, RECORD_WIDTH
+from repro.networks.comparator import compare_exchange
+from repro.util.mathx import is_pow2, next_pow2
+
+__all__ = ["bitonic_pairs", "bitonic_sort"]
+
+
+def bitonic_pairs(n: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield rounds of the normalized bitonic network for ``n`` (power of 2).
+
+    Each yielded round is a pair of index arrays ``(lo, hi)`` with
+    ``lo[i] < hi[i]`` and all ``2 * len(lo)`` indices distinct, so a round
+    can be applied as one vectorized compare-exchange.
+    """
+    if not is_pow2(n):
+        raise ValueError(f"bitonic network requires a power-of-two size, got {n}")
+    idx = np.arange(n)
+    k = 2
+    while k <= n:
+        j = k // 2
+        while j >= 1:
+            partner = idx ^ j
+            if j == k // 2:
+                # First round of a merge stage in the normalized network:
+                # partner within a k-block mirrors across the block centre.
+                block = idx // k
+                offset = idx % k
+                partner = block * k + (k - 1 - offset)
+            mask = idx < partner
+            yield idx[mask], partner[mask]
+            j //= 2
+        k *= 2
+
+
+def bitonic_sort(records: np.ndarray) -> np.ndarray:
+    """Sort a record array with the bitonic network (returns a new array).
+
+    Non-power-of-two inputs are padded with empty cells before the network
+    runs and truncated afterwards, preserving length.
+    """
+    records = np.asarray(records, dtype=np.int64)
+    n = len(records)
+    if n <= 1:
+        return records.copy()
+    size = next_pow2(n)
+    work = np.full((size, RECORD_WIDTH), 0, dtype=np.int64)
+    work[:, 0] = NULL_KEY
+    work[:n] = records
+    for lo, hi in bitonic_pairs(size):
+        compare_exchange(work, lo, hi)
+    return work[:n]

@@ -1,0 +1,566 @@
+"""Butterfly-like compaction network (paper §3, Theorem 6, Lemma 5, Figure 1).
+
+The network has ``ceil(log2 n)`` levels; cell ``j`` of level ``L_i`` feeds
+cells ``j`` and ``j - 2^i`` of level ``L_{i+1}``.  Each occupied cell
+carries a *distance label* ``d_j`` — how far left it must travel for a
+tight compaction — and at level ``i`` moves by ``d_j mod 2^{i+1}`` (either
+0 or ``2^i``).  Lemma 5 proves no two cells ever collide.
+
+Three views are provided:
+
+* :func:`butterfly_levels_trace` — an in-memory, per-level simulation that
+  records every intermediate level.  This regenerates **Figure 1**.
+* ``_route_in_memory`` — the same routing collapsed level-by-level, used as
+  the cache-resident base case.
+* :func:`butterfly_compact` — the external-memory algorithm on block
+  arrays.  ``windowed=False`` simulates the circuit one level at a time
+  (``O(n log n)`` I/Os); ``windowed=True`` implements the paper's
+  windowing optimization — route ``g = Theta(log m)`` levels per scan
+  through a sliding window of ``2^g`` cells, then gather the ``2^g``
+  independent residue classes and recurse — for ``O(n log_m n)`` I/Os.
+
+:func:`butterfly_expand` runs the network "in reverse" (the remark after
+Theorem 6): each element carries a non-decreasing *expansion factor* and
+moves right instead of left.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.em.block import NULL_KEY, RECORD_WIDTH, is_empty
+from repro.em.errors import EMError
+from repro.em.machine import EMMachine
+from repro.em.storage import EMArray
+from repro.util.mathx import ceil_div, ilog2
+
+__all__ = [
+    "ButterflyCollisionError",
+    "distance_labels",
+    "butterfly_levels_trace",
+    "butterfly_compact",
+    "butterfly_expand",
+]
+
+
+class ButterflyCollisionError(EMError):
+    """Two cells were routed to the same slot — impossible for valid labels
+    (Lemma 5); raised only on malformed label inputs."""
+
+
+def distance_labels(occupied: np.ndarray) -> np.ndarray:
+    """Compute valid distance labels for a tight compaction.
+
+    ``occupied`` is a boolean mask; the label of the ``r``-th occupied
+    cell (0-based) at position ``j`` is ``j - r`` — the number of empty
+    cells to its left.  Empty cells get label 0 (ignored by the router).
+    """
+    occupied = np.asarray(occupied, dtype=bool)
+    ranks = np.cumsum(occupied) - 1
+    idx = np.arange(len(occupied), dtype=np.int64)
+    return np.where(occupied, idx - ranks, 0).astype(np.int64)
+
+
+def _num_levels(n: int) -> int:
+    """Number of network levels for ``n`` cells."""
+    if n <= 1:
+        return 0
+    return ilog2(n - 1) + 1  # ceil(log2 n) for n >= 2
+
+
+def butterfly_levels_trace(
+    occupied: np.ndarray,
+) -> list[list[tuple[bool, int]]]:
+    """Simulate the network level by level, returning every level's state.
+
+    Each level is a list of ``(occupied, remaining_distance)`` per cell —
+    exactly the annotations of the paper's Figure 1.  The first entry is
+    level ``L_0``; the last has every remaining distance 0.
+    """
+    occupied = np.asarray(occupied, dtype=bool)
+    n = len(occupied)
+    labels = distance_labels(occupied)
+    occ = occupied.copy()
+    lab = labels.copy()
+    trace = [[(bool(o), int(d)) for o, d in zip(occ, lab)]]
+    for i in range(_num_levels(n)):
+        occ, lab, _ = _route_one_level(occ, lab, None, i)
+        trace.append([(bool(o), int(d)) for o, d in zip(occ, lab)])
+    return trace
+
+
+def _route_one_level(
+    occ: np.ndarray,
+    lab: np.ndarray,
+    payload: np.ndarray | None,
+    level: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray | None]:
+    """Apply one network level in memory; returns new (occ, lab, payload)."""
+    n = len(occ)
+    modulus = 1 << (level + 1)
+    idx = np.arange(n, dtype=np.int64)
+    moves = np.where(occ, lab % modulus, 0)
+    dests = idx - moves
+    if np.any(dests < 0):
+        raise ButterflyCollisionError("a label routed a cell past the left edge")
+    new_occ = np.zeros_like(occ)
+    new_lab = np.zeros_like(lab)
+    new_payload = None if payload is None else np.full_like(payload, 0)
+    if new_payload is not None:
+        new_payload[..., 0] = NULL_KEY
+    src = idx[occ]
+    dst = dests[occ]
+    uniq, counts = np.unique(dst, return_counts=True)
+    if np.any(counts > 1):
+        raise ButterflyCollisionError(
+            f"collision at level {level}: slots {uniq[counts > 1].tolist()}"
+        )
+    new_occ[dst] = True
+    new_lab[dst] = lab[src] - moves[src]
+    if new_payload is not None:
+        new_payload[dst] = payload[src]
+    return new_occ, new_lab, new_payload
+
+
+def _route_in_memory(
+    occ: np.ndarray,
+    lab: np.ndarray,
+    payload: np.ndarray,
+    levels: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Route ``levels`` network levels entirely in private memory.
+
+    Uses the composite map: after levels ``0..levels-1`` a cell at ``j``
+    with label ``d`` (divisible by ``2^0``) lands at ``j - (d mod
+    2^levels)`` — the telescoped product of the per-level moves, injective
+    by Lemma 5.
+    """
+    n = len(occ)
+    if levels <= 0 or n <= 1:
+        return occ.copy(), lab.copy(), payload.copy()
+    span = 1 << levels
+    idx = np.arange(n, dtype=np.int64)
+    moves = np.where(occ, lab % span, 0)
+    dests = idx - moves
+    if np.any(dests < 0):
+        raise ButterflyCollisionError("a label routed a cell past the left edge")
+    new_occ = np.zeros_like(occ)
+    new_lab = np.zeros_like(lab)
+    new_payload = np.full_like(payload, 0)
+    new_payload[..., 0] = NULL_KEY
+    src = idx[occ]
+    dst = dests[occ]
+    uniq, counts = np.unique(dst, return_counts=True)
+    if np.any(counts > 1):
+        raise ButterflyCollisionError(
+            f"collision in composite routing: slots {uniq[counts > 1].tolist()}"
+        )
+    new_occ[dst] = True
+    new_lab[dst] = lab[src] - moves[src]
+    new_payload[dst] = payload[src]
+    return new_occ, new_lab, new_payload
+
+
+# ---------------------------------------------------------------------------
+# External-memory routing
+# ---------------------------------------------------------------------------
+
+#: Label block layout: record 0 of the label block for data block ``j``
+#: holds ``(occupied_flag, distance)``.
+
+
+def _write_labels_scan(
+    machine: EMMachine,
+    A: EMArray,
+    occupied_fn,
+) -> tuple[EMArray, int]:
+    """Scan ``A`` computing distance labels into a parallel label array.
+
+    Returns the label array and the number of occupied blocks.  The scan's
+    access pattern (read ``A[j]``, write ``labels[j]``) is fixed.
+    """
+    n = A.num_blocks
+    labels = machine.alloc(n, f"{A.name}.labels")
+    rank = 0
+    with machine.cache.hold(2):
+        for j in range(n):
+            block = machine.read(A, j)
+            occ = bool(occupied_fn(block))
+            lab_block = np.full((machine.B, RECORD_WIDTH), 0, dtype=np.int64)
+            lab_block[:, 0] = NULL_KEY
+            lab_block[0, 0] = 1 if occ else 0
+            lab_block[0, 1] = (j - rank) if occ else 0
+            machine.write(labels, j, lab_block)
+            if occ:
+                rank += 1
+    return labels, rank
+
+
+def _default_occupied(block: np.ndarray) -> bool:
+    """A block is occupied when it holds at least one non-empty record."""
+    return bool(np.any(~is_empty(block)))
+
+
+def _route_em_naive(
+    machine: EMMachine,
+    data: EMArray,
+    labels: EMArray,
+) -> tuple[EMArray, EMArray]:
+    """Simulate the circuit one level at a time (``O(n log n)`` I/Os).
+
+    For each output cell ``j`` of the next level we read both of its
+    fan-in cells (``j`` and ``j + 2^i``), decide in cache which occupies
+    the output, and write it — the fixed read/write pattern of a circuit
+    simulation (the paper's observation that circuit evaluation is
+    trivially data-oblivious).
+    """
+    n = data.num_blocks
+    B = machine.B
+    cur_d, cur_l = data, labels
+    for level in range(_num_levels(n)):
+        step = 1 << level
+        modulus = step * 2
+        nxt_d = machine.alloc(n, f"{data.name}.L{level + 1}")
+        nxt_l = machine.alloc(n, f"{data.name}.L{level + 1}.lab")
+        with machine.cache.hold(4):
+            for j in range(n):
+                blk_here = machine.read(cur_d, j)
+                lab_here = machine.read(cur_l, j)
+                out_blk = np.full((B, RECORD_WIDTH), 0, dtype=np.int64)
+                out_blk[:, 0] = NULL_KEY
+                out_lab = np.full((B, RECORD_WIDTH), 0, dtype=np.int64)
+                out_lab[:, 0] = NULL_KEY
+                out_lab[0, 0] = 0
+                out_lab[0, 1] = 0
+                claimed = False
+                if lab_here[0, 0] == 1 and lab_here[0, 1] % modulus == 0:
+                    out_blk = blk_here
+                    out_lab[0, 0] = 1
+                    out_lab[0, 1] = lab_here[0, 1]
+                    claimed = True
+                if j + step < n:
+                    blk_far = machine.read(cur_d, j + step)
+                    lab_far = machine.read(cur_l, j + step)
+                    if lab_far[0, 0] == 1 and lab_far[0, 1] % modulus == step:
+                        if claimed:
+                            raise ButterflyCollisionError(
+                                f"collision at level {level}, output {j}"
+                            )
+                        out_blk = blk_far
+                        out_lab[0, 0] = 1
+                        out_lab[0, 1] = lab_far[0, 1] - step
+                machine.write(nxt_d, j, out_blk)
+                machine.write(nxt_l, j, out_lab)
+        machine.free(cur_d)
+        machine.free(cur_l)
+        cur_d, cur_l = nxt_d, nxt_l
+    return cur_d, cur_l
+
+
+def _read_label(block: np.ndarray) -> tuple[bool, int]:
+    return bool(block[0, 0] == 1), int(block[0, 1])
+
+
+def _make_label_block(B: int, occ: bool, dist: int) -> np.ndarray:
+    block = np.full((B, RECORD_WIDTH), 0, dtype=np.int64)
+    block[:, 0] = NULL_KEY
+    block[0, 0] = 1 if occ else 0
+    block[0, 1] = dist if occ else 0
+    return block
+
+
+def _route_em_windowed(
+    machine: EMMachine,
+    data: EMArray,
+    labels: EMArray,
+    *,
+    depth: int = 0,
+) -> tuple[EMArray, EMArray]:
+    """Route all levels using the windowing optimization of Theorem 6.
+
+    Structure (see module docstring): route ``g`` levels in one sliding
+    -window scan, gather the ``2^g`` residue classes mod ``2^g`` (which
+    are independent for all remaining levels), recurse on each class, and
+    scatter back.  I/O cost obeys ``T(n) = O(n) + 2^g T(n / 2^g)`` giving
+    ``O(n log_m n)`` total.
+    """
+    n = data.num_blocks
+    B = machine.B
+    m = machine.cache.capacity_blocks
+    levels = _num_levels(n)
+    if levels == 0:
+        return data, labels
+
+    # Base case: the whole (sub)problem fits in cache — read everything,
+    # route privately, write back.
+    if 2 * n + 2 <= m:
+        with machine.cache.hold(2 * n):
+            payload = np.stack([machine.read(data, j) for j in range(n)])
+            labs = [machine.read(labels, j) for j in range(n)]
+            occ = np.array([_read_label(lb)[0] for lb in labs], dtype=bool)
+            dist = np.array([_read_label(lb)[1] for lb in labs], dtype=np.int64)
+            occ2, dist2, payload2 = _route_in_memory(occ, dist, payload, levels)
+            for j in range(n):
+                machine.write(data, j, payload2[j])
+                machine.write(labels, j, _make_label_block(B, bool(occ2[j]), int(dist2[j])))
+        return data, labels
+
+    # Window size: need input chunk (2 * S blocks incl. labels) plus the
+    # 2S-slot output buffer (4 * S blocks incl. labels) in cache.
+    g = max(1, ilog2(max(2, m // 6)))
+    g = min(g, levels)
+    S = 1 << g
+
+    out_d = machine.alloc(n, f"{data.name}.w{depth}")
+    out_l = machine.alloc(n, f"{data.name}.w{depth}.lab")
+    # Sliding output buffer of 2S slots covering [origin, origin + 2S).
+    buf_payload = np.full((2 * S, B, RECORD_WIDTH), 0, dtype=np.int64)
+    buf_payload[:, :, 0] = NULL_KEY
+    buf_occ = np.zeros(2 * S, dtype=bool)
+    buf_dist = np.zeros(2 * S, dtype=np.int64)
+
+    def flush(origin: int, lo: int, hi: int) -> None:
+        """Write finalized region [lo, hi) of the output from the buffer."""
+        for j in range(lo, hi):
+            slot = j - origin
+            machine.write(out_d, j, buf_payload[slot])
+            machine.write(
+                out_l, j, _make_label_block(B, bool(buf_occ[slot]), int(buf_dist[slot]))
+            )
+
+    with machine.cache.hold(min(m, 6 * S)):
+        origin = -S  # buffer covers [origin, origin + 2S)
+        c = 0
+        while c < n:
+            chunk = min(S, n - c)
+            for local in range(chunk):
+                j = c + local
+                blk = machine.read(data, j)
+                lab = machine.read(labels, j)
+                occ, dist = _read_label(lab)
+                if not occ:
+                    continue
+                move = dist % S
+                dest = j - move
+                slot = dest - origin
+                if slot < 0:
+                    raise ButterflyCollisionError("cell routed before buffer window")
+                if buf_occ[slot]:
+                    raise ButterflyCollisionError(
+                        f"window collision at output {dest} (level group 0..{g - 1})"
+                    )
+                buf_occ[slot] = True
+                buf_dist[slot] = dist - move
+                buf_payload[slot] = blk
+            c += chunk
+            if c < n:
+                # Region [origin, origin + S) can no longer receive cells
+                # (future cells sit at >= c and move < S, landing > c - S
+                # >= origin + S when chunks are full-size).  Flush it and
+                # slide the buffer right by S.
+                flush(origin, max(0, origin), origin + S)
+                buf_payload[:S] = buf_payload[S:]
+                buf_payload[S:, :, 0] = NULL_KEY
+                buf_payload[S:, :, 1] = 0
+                buf_occ[:S] = buf_occ[S:]
+                buf_occ[S:] = False
+                buf_dist[:S] = buf_dist[S:]
+                buf_dist[S:] = 0
+                origin += S
+        # Flush everything still buffered: [origin, n).
+        flush(origin, max(0, origin), n)
+    machine.free(data)
+    machine.free(labels)
+
+    if levels <= g:
+        return out_d, out_l
+
+    # Gather residue classes mod S: class r holds global indices r, r+S, ...
+    # Remaining moves are multiples of S, so classes are independent.
+    results: list[tuple[EMArray, EMArray, int]] = []
+    for r in range(S):
+        size = len(range(r, n, S))
+        if size == 0:
+            continue
+        sub_d = machine.alloc(size, f"{data.name}.c{depth}.{r}")
+        sub_l = machine.alloc(size, f"{data.name}.c{depth}.{r}.lab")
+        with machine.cache.hold(2):
+            for p, j in enumerate(range(r, n, S)):
+                machine.write(sub_d, p, machine.read(out_d, j))
+                lab = machine.read(out_l, j)
+                occ, dist = _read_label(lab)
+                # Labels divide by S in gathered coordinates.
+                machine.write(sub_l, p, _make_label_block(B, occ, dist // S))
+        sub_d, sub_l = _route_em_windowed(machine, sub_d, sub_l, depth=depth + 1)
+        results.append((sub_d, sub_l, r))
+
+    # Scatter back.
+    with machine.cache.hold(2):
+        for sub_d, sub_l, r in results:
+            for p, j in enumerate(range(r, n, S)):
+                machine.write(out_d, j, machine.read(sub_d, p))
+                lab = machine.read(sub_l, p)
+                occ, dist = _read_label(lab)
+                machine.write(out_l, j, _make_label_block(B, occ, dist * S))
+            machine.free(sub_d)
+            machine.free(sub_l)
+    return out_d, out_l
+
+
+def butterfly_compact(
+    machine: EMMachine,
+    A: EMArray,
+    *,
+    occupied_fn=None,
+    occupied_mask=None,
+    windowed: bool | str = "auto",
+    keep_labels: bool = False,
+) -> EMArray | tuple[EMArray, EMArray]:
+    """Tight order-preserving compaction of the blocks of ``A`` (Theorem 6).
+
+    Returns a new array of ``A.num_blocks`` blocks in which all occupied
+    blocks appear first, in their original relative order, followed by
+    empty blocks.  ``A`` itself is consumed conceptually (its contents are
+    copied; the array remains allocated and untouched).
+
+    ``occupied_fn`` decides in cache whether a block counts as occupied
+    (default: holds any non-empty record).  Alternatively
+    ``occupied_mask`` supplies a per-position boolean mask from the
+    client's private knowledge (used by failure sweeping); the mask only
+    shapes the encrypted routing labels, never the access pattern.
+    ``windowed`` selects the ``O(n log_m n)``-I/O windowed router;
+    ``False`` selects the per-level circuit simulation (``O(n log n)``
+    I/Os).  The default ``"auto"`` picks the windowed router only when
+    the cache is big enough for it to actually win: each windowed pass
+    costs ~12n I/Os for ``g = log2(m/6)`` levels versus the naive
+    router's ~6n per level, so windowing pays off from ``g >= 3``
+    (``m >= 48`` blocks).
+    """
+    n = A.num_blocks
+    if windowed == "auto":
+        windowed = machine.cache.capacity_blocks >= 48
+    if occupied_mask is not None:
+        if occupied_fn is not None:
+            raise ValueError("pass occupied_fn or occupied_mask, not both")
+        if len(occupied_mask) != n:
+            raise ValueError(f"mask length {len(occupied_mask)} != {n} blocks")
+        mask = [bool(x) for x in occupied_mask]
+        position = iter(range(n))
+
+        def occupied_fn(_block: np.ndarray) -> bool:  # noqa: F811
+            return mask[next(position)]
+
+    occupied_fn = occupied_fn or _default_occupied
+    # Work on a private copy of the data array so A survives.
+    work = machine.alloc(n, f"{A.name}.bfly")
+    with machine.cache.hold(1):
+        for j in range(n):
+            machine.write(work, j, machine.read(A, j))
+    labels, _ = _write_labels_scan(machine, work, occupied_fn)
+    # Both routers consume (free) their input arrays.
+    if windowed:
+        out_d, out_l = _route_em_windowed(machine, work, labels)
+    else:
+        out_d, out_l = _route_em_naive(machine, work, labels)
+    if keep_labels:
+        return out_d, out_l
+    machine.free(out_l)
+    return out_d
+
+
+def butterfly_expand(
+    machine: EMMachine,
+    D: EMArray,
+    expansion: np.ndarray,
+    n_out: int,
+) -> EMArray:
+    """Run the network in reverse: expand a compact array (post-Theorem 6).
+
+    ``expansion[p]`` is the number of cells block ``p`` of ``D`` moves to
+    the right; the paper requires these factors to form a non-decreasing
+    sequence.  Returns an array of ``n_out`` blocks in which block ``p``
+    of ``D`` sits at position ``p + expansion[p]``.
+
+    Expansion is the exact inverse of a tight compaction of its own
+    output, so we run the forward network's levels in *reverse* order
+    (peeling label bits high-to-low instead of low-to-high); the routing
+    visits the forward network's collision-free states in reverse, hence
+    never collides.  When the whole problem fits in cache the composite
+    map ``j -> j + e_j`` is applied directly.
+    """
+    expansion = np.asarray(expansion, dtype=np.int64)
+    nd = D.num_blocks
+    if len(expansion) != nd:
+        raise ValueError(f"need one expansion factor per block ({nd}), got {len(expansion)}")
+    if nd == 0:
+        return machine.alloc(n_out, f"{D.name}.expanded")
+    if np.any(expansion < 0):
+        raise ValueError("expansion factors must be non-negative")
+    if np.any(np.diff(expansion) < 0):
+        raise ValueError("expansion factors must be non-decreasing")
+    if nd - 1 + int(expansion[-1]) >= n_out:
+        raise ValueError("expansion factors overflow the output array")
+    B = machine.B
+    m = machine.cache.capacity_blocks
+
+    # In-cache fast path: composite placement.
+    if 2 * n_out + 2 <= m:
+        out = machine.alloc(n_out, f"{D.name}.expanded")
+        with machine.cache.hold(n_out + nd):
+            blocks = [machine.read(D, p) for p in range(nd)]
+            placed: dict[int, np.ndarray] = {}
+            for p in range(nd):
+                placed[p + int(expansion[p])] = blocks[p]
+            empty = np.full((B, RECORD_WIDTH), 0, dtype=np.int64)
+            empty[:, 0] = NULL_KEY
+            for j in range(n_out):
+                machine.write(out, j, placed.get(j, empty))
+        return out
+
+    # Lay out the initial level: block p of D at position p with its full
+    # expansion label; the rest empty.
+    cur_d = machine.alloc(n_out, f"{D.name}.exp.L")
+    cur_l = machine.alloc(n_out, f"{D.name}.exp.L.lab")
+    empty = np.full((B, RECORD_WIDTH), 0, dtype=np.int64)
+    empty[:, 0] = NULL_KEY
+    with machine.cache.hold(2):
+        for j in range(n_out):
+            if j < nd:
+                machine.write(cur_d, j, machine.read(D, j))
+                machine.write(cur_l, j, _make_label_block(B, True, int(expansion[j])))
+            else:
+                machine.write(cur_d, j, empty)
+                machine.write(cur_l, j, _make_label_block(B, False, 0))
+
+    # Reverse the network: apply label bits from high to low, moving right.
+    for level in reversed(range(_num_levels(n_out))):
+        step = 1 << level
+        nxt_d = machine.alloc(n_out, f"{D.name}.exp.L{level}")
+        nxt_l = machine.alloc(n_out, f"{D.name}.exp.L{level}.lab")
+        with machine.cache.hold(4):
+            for j in range(n_out):
+                out_blk = empty
+                out_occ = False
+                out_e = 0
+                lab_here = machine.read(cur_l, j)
+                blk_here = machine.read(cur_d, j)
+                occ, e = _read_label(lab_here)
+                if occ and (e >> level) & 1 == 0:
+                    out_blk, out_occ, out_e = blk_here, True, e
+                if j - step >= 0:
+                    lab_far = machine.read(cur_l, j - step)
+                    blk_far = machine.read(cur_d, j - step)
+                    occ_f, e_f = _read_label(lab_far)
+                    if occ_f and (e_f >> level) & 1 == 1:
+                        if out_occ:
+                            raise ButterflyCollisionError(
+                                f"expansion collision at level {level}, output {j}"
+                            )
+                        out_blk, out_occ, out_e = blk_far, True, e_f
+                machine.write(nxt_d, j, out_blk)
+                machine.write(nxt_l, j, _make_label_block(B, out_occ, out_e))
+        machine.free(cur_d)
+        machine.free(cur_l)
+        cur_d, cur_l = nxt_d, nxt_l
+    machine.free(cur_l)
+    return cur_d

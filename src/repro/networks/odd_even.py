@@ -1,0 +1,62 @@
+"""Batcher's odd-even mergesort network.
+
+Like the bitonic network this sorts with ``O(log^2 n)`` rounds, but every
+comparator is already oriented min-to-lower-index, which makes it the
+natural schedule for the *merge-split on runs* construction used by the
+Lemma-2-style external oblivious sort (see
+:mod:`repro.core.external_sort`): replacing each comparator by an
+oblivious merge-split of two sorted runs turns a network sorting ``n``
+items into an algorithm sorting ``n`` runs (Knuth, §5.3.4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.em.block import NULL_KEY, RECORD_WIDTH
+from repro.networks.comparator import compare_exchange
+from repro.util.mathx import is_pow2, next_pow2
+
+__all__ = ["batcher_pairs", "batcher_sort"]
+
+
+def batcher_pairs(n: int) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield rounds of Batcher's odd-even mergesort for ``n`` (power of 2).
+
+    Uses the classic iterative formulation; each round's comparators are
+    disjoint and all point min-to-``lo``.
+    """
+    if not is_pow2(n):
+        raise ValueError(f"odd-even mergesort requires a power-of-two size, got {n}")
+    p = 1
+    while p < n:
+        k = p
+        while k >= 1:
+            los: list[int] = []
+            his: list[int] = []
+            for j in range(k % p, n - k, 2 * k):
+                for i in range(min(k, n - j - k)):
+                    if (i + j) // (2 * p) == (i + j + k) // (2 * p):
+                        los.append(i + j)
+                        his.append(i + j + k)
+            if los:
+                yield np.asarray(los, dtype=np.int64), np.asarray(his, dtype=np.int64)
+            k //= 2
+        p *= 2
+
+
+def batcher_sort(records: np.ndarray) -> np.ndarray:
+    """Sort a record array with Batcher's network (returns a new array)."""
+    records = np.asarray(records, dtype=np.int64)
+    n = len(records)
+    if n <= 1:
+        return records.copy()
+    size = next_pow2(n)
+    work = np.full((size, RECORD_WIDTH), 0, dtype=np.int64)
+    work[:, 0] = NULL_KEY
+    work[:n] = records
+    for lo, hi in batcher_pairs(size):
+        compare_exchange(work, lo, hi)
+    return work[:n]

@@ -1,0 +1,19 @@
+"""Obliviousness verification tools (paper §1's definition, experiment E10)."""
+
+from repro.oblivious.verifier import (
+    ObliviousnessReport,
+    ObliviousnessViolation,
+    adversarial_inputs,
+    check_oblivious,
+    run_traced,
+)
+from repro.oblivious.statistics import trace_length_distribution_test
+
+__all__ = [
+    "ObliviousnessReport",
+    "ObliviousnessViolation",
+    "adversarial_inputs",
+    "check_oblivious",
+    "run_traced",
+    "trace_length_distribution_test",
+]

@@ -1,0 +1,140 @@
+"""Trace-based obliviousness verification.
+
+The paper (§1) defines a sequence of I/Os as data-oblivious when its
+distribution depends only on the problem ``P`` and the parameters
+``N, M, B`` — never on the data values.  Our algorithms draw all of their
+randomness from an explicit seed, which turns the distributional statement
+into an executable one:
+
+    With the seed held fixed, the adversary's complete view must be
+    *identical* for any two inputs of the same size.
+
+:func:`check_oblivious` runs an algorithm over a family of adversarially
+chosen inputs with the same seed and compares adversary views.  This is a
+strictly stronger check than comparing distributions, and it is exact.
+Cross-seed distribution tests live in :mod:`repro.oblivious.statistics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+import numpy as np
+
+from repro.em.adversary import AdversaryView
+from repro.em.machine import EMMachine
+from repro.util.rng import make_rng
+
+__all__ = [
+    "ObliviousnessViolation",
+    "ObliviousnessReport",
+    "run_traced",
+    "check_oblivious",
+    "adversarial_inputs",
+]
+
+#: An algorithm under verification: receives a fresh machine, the input
+#: records, and a seeded generator; returns anything.
+AlgorithmRunner = Callable[[EMMachine, np.ndarray, np.random.Generator], Any]
+
+
+class ObliviousnessViolation(AssertionError):
+    """Raised when two same-seed runs produced distinguishable views."""
+
+
+@dataclass
+class ObliviousnessReport:
+    """Outcome of an obliviousness check over a family of inputs."""
+
+    views: list[AdversaryView] = field(default_factory=list)
+    labels: list[str] = field(default_factory=list)
+
+    @property
+    def oblivious(self) -> bool:
+        """True iff all runs were indistinguishable."""
+        return len({v.trace_fingerprint for v in self.views}) <= 1
+
+    def describe(self) -> str:
+        lines = ["obliviousness report:"]
+        for label, view in zip(self.labels, self.views):
+            lines.append(
+                f"  {label:>16}: trace={view.trace_fingerprint[:16]}… "
+                f"events={view.num_events} reads={view.num_reads} "
+                f"writes={view.num_writes}"
+            )
+        lines.append(f"  verdict: {'OBLIVIOUS' if self.oblivious else 'LEAKY'}")
+        return "\n".join(lines)
+
+
+def run_traced(
+    runner: AlgorithmRunner,
+    records: np.ndarray,
+    *,
+    M: int,
+    B: int,
+    seed: int,
+) -> tuple[Any, AdversaryView]:
+    """Run ``runner`` on a fresh machine and capture the adversary's view."""
+    machine = EMMachine(M, B)
+    rng = make_rng(seed)
+    result = runner(machine, records, rng)
+    return result, AdversaryView.observe(machine)
+
+
+def check_oblivious(
+    runner: AlgorithmRunner,
+    inputs: Sequence[np.ndarray],
+    *,
+    M: int,
+    B: int,
+    seed: int = 0xD0B1,
+    labels: Sequence[str] | None = None,
+    raise_on_leak: bool = True,
+) -> ObliviousnessReport:
+    """Verify that ``runner`` is data-oblivious over ``inputs``.
+
+    All inputs must have the same length (the definition only quantifies
+    over memory configurations of equal size).  Each input is run on a
+    fresh machine with the *same* seed; the adversary views must coincide.
+    """
+    sizes = {len(x) for x in inputs}
+    if len(sizes) > 1:
+        raise ValueError(
+            f"obliviousness is defined over equal-size inputs; got sizes {sizes}"
+        )
+    if labels is None:
+        labels = [f"input{i}" for i in range(len(inputs))]
+    report = ObliviousnessReport()
+    for label, records in zip(labels, inputs):
+        _, view = run_traced(runner, records, M=M, B=B, seed=seed)
+        report.views.append(view)
+        report.labels.append(label)
+    if raise_on_leak and not report.oblivious:
+        raise ObliviousnessViolation(report.describe())
+    return report
+
+
+def adversarial_inputs(
+    n: int,
+    *,
+    rng: np.random.Generator | None = None,
+    key_range: int = 2**40,
+) -> dict[str, np.ndarray]:
+    """Build the standard family of adversarial inputs of size ``n``.
+
+    The family covers the cases the paper calls out as dangerous for
+    non-oblivious algorithms: all-equal keys (the n-way hash collision
+    example of §1), already-sorted, reverse-sorted, and uniformly random
+    keys.  Values are distinct so outputs remain checkable.
+    """
+    rng = rng or np.random.default_rng(0)
+    idx = np.arange(1, n + 1, dtype=np.int64)
+    random_keys = rng.integers(1, key_range, size=n, dtype=np.int64)
+    families = {
+        "all_equal": np.column_stack([np.full(n, 7, dtype=np.int64), idx]),
+        "sorted": np.column_stack([idx, idx]),
+        "reversed": np.column_stack([idx[::-1].copy(), idx]),
+        "random": np.column_stack([random_keys, idx]),
+    }
+    return families

@@ -1,0 +1,89 @@
+"""The trivial linear-scan ORAM — the baseline every ORAM paper starts
+from.
+
+Each access scans the entire memory, reading and re-writing every block
+(re-encrypted), so the trace is a fixed function of ``n`` alone:
+perfectly oblivious, ``2n`` I/Os per access, no rebuilds, no randomness.
+
+Against the square-root construction it gives experiment E9 a *measured*
+crossover: linear scanning wins for tiny memories (no shelter, no
+rebuild machinery), the square-root ORAM wins as soon as
+``2 sqrt(n) + polylog`` beats ``2n`` — the first rung of the ladder the
+paper's sorting result improves further up.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.em.block import NULL_KEY, RECORD_WIDTH
+from repro.em.machine import EMMachine
+from repro.em.storage import EMArray
+
+__all__ = ["LinearScanORAM"]
+
+
+class LinearScanORAM:
+    """Oblivious memory of ``n`` logical blocks via whole-memory scans."""
+
+    def __init__(
+        self,
+        machine: EMMachine,
+        n: int,
+        *,
+        initial: EMArray | None = None,
+        name: str = "linear-oram",
+    ) -> None:
+        if n < 1:
+            raise ValueError(f"ORAM needs at least one cell, got {n}")
+        self.machine = machine
+        self.n = n
+        self.store = machine.alloc(n, f"{name}.store")
+        self.accesses = 0
+        if initial is not None:
+            with machine.cache.hold(1):
+                for j in range(n):
+                    machine.write(self.store, j, machine.read(initial, j))
+
+    def _scan(self, i: int | None, new_block: np.ndarray | None) -> np.ndarray:
+        """One full read+rewrite scan; touches cell ``i`` in cache only."""
+        mach = self.machine
+        found = np.full((mach.B, RECORD_WIDTH), 0, dtype=np.int64)
+        found[:, 0] = NULL_KEY
+        with mach.cache.hold(2):
+            for j in range(self.n):
+                block = mach.read(self.store, j)
+                if i is not None and j == i:
+                    found = block
+                    if new_block is not None:
+                        block = np.asarray(new_block, dtype=np.int64)
+                mach.write(self.store, j, block)
+        self.accesses += 1
+        return found
+
+    def read(self, i: int) -> np.ndarray:
+        """Obliviously read logical block ``i`` (2n I/Os)."""
+        self._check(i)
+        return self._scan(i, None)
+
+    def write(self, i: int, block: np.ndarray) -> np.ndarray:
+        """Obliviously write logical block ``i``; returns the old value."""
+        self._check(i)
+        return self._scan(i, block)
+
+    def dummy_op(self) -> None:
+        """An access touching nothing — indistinguishable from the rest."""
+        self._scan(None, None)
+
+    def _check(self, i: int) -> None:
+        if not (0 <= i < self.n):
+            raise IndexError(f"logical index {i} out of range [0, {self.n})")
+
+    def extract_to(self, out: EMArray) -> None:
+        """Copy the logical memory, in order, into ``out`` (one scan)."""
+        if out.num_blocks < self.n:
+            raise ValueError(f"output needs {self.n} blocks, has {out.num_blocks}")
+        mach = self.machine
+        with mach.cache.hold(1):
+            for j in range(self.n):
+                mach.write(out, j, mach.read(self.store, j))

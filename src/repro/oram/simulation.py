@@ -1,0 +1,75 @@
+"""Oblivious-RAM simulation accounting (experiment E9).
+
+The paper's closing observation (§1, §5) is that because data-oblivious
+sorting is the inner loop of oblivious-RAM simulations, a faster oblivious
+sort improves the simulation's amortized overhead by a logarithmic factor.
+This module measures that: it runs an access workload against a
+:class:`repro.oram.square_root.SquareRootORAM` and reports the amortized
+I/O overhead per access, splitting out the I/Os spent inside rebuilds
+(i.e. inside the oblivious sort) so the sort's contribution is visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.em.machine import EMMachine
+from repro.oram.square_root import SquareRootORAM
+from repro.util.rng import make_rng
+
+__all__ = ["ORAMStats", "measure_oram_overhead"]
+
+
+@dataclass(frozen=True)
+class ORAMStats:
+    """Amortized-cost report for an ORAM workload."""
+
+    n: int
+    accesses: int
+    total_ios: int
+    rebuild_ios: int
+    rebuilds: int
+
+    @property
+    def amortized_ios_per_access(self) -> float:
+        return self.total_ios / max(1, self.accesses)
+
+    @property
+    def rebuild_fraction(self) -> float:
+        """Fraction of all I/Os spent in rebuilds — the oblivious-sort
+        inner loop whose cost the paper's Theorem 21 reduces."""
+        return self.rebuild_ios / max(1, self.total_ios)
+
+
+def measure_oram_overhead(
+    n: int,
+    num_accesses: int,
+    *,
+    M: int = 64,
+    B: int = 4,
+    seed: int = 0,
+) -> ORAMStats:
+    """Run a uniform random access workload and report amortized cost."""
+    machine = EMMachine(M=M, B=B, trace=False)
+    rng = make_rng(seed)
+    oram = SquareRootORAM(machine, n, rng)
+    baseline = machine.total_ios  # setup cost excluded from the amortized figure
+    rebuild_ios = 0
+    workload = rng.integers(0, n, size=num_accesses)
+    for i in workload:
+        before_rebuilds = oram.rebuilds
+        before_ios = machine.total_ios
+        oram.read(int(i))
+        if oram.rebuilds > before_rebuilds:
+            # The access triggered a rebuild; attribute the excess over a
+            # typical non-rebuild access to the rebuild.
+            rebuild_ios += machine.total_ios - before_ios
+    return ORAMStats(
+        n=n,
+        accesses=num_accesses,
+        total_ios=machine.total_ios - baseline,
+        rebuild_ios=rebuild_ios,
+        rebuilds=oram.rebuilds,
+    )

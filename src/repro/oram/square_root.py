@@ -1,0 +1,358 @@
+"""Square-root ORAM (Goldreich–Ostrovsky) over the EM substrate.
+
+Layout: a *store* of ``n + s`` slots (``s = ceil(sqrt(n))`` dummies) kept
+sorted by a per-epoch pseudorandom tag, plus a *shelter* of ``s`` slots.
+Each slot is a pair of parallel blocks: a meta block whose first record is
+``(tag_or_sortkey, logical_index)`` and a payload block holding the user's
+data.
+
+Access protocol (one logical read or write):
+
+1. scan the entire shelter for the target index;
+2. probe the store by binary search on a pseudorandom tag — the target's
+   tag if it was not sheltered, the next unused dummy tag otherwise;
+3. append the (possibly updated) item to the next shelter slot.
+
+Every epoch (``s`` accesses) the shelter is merged back and the store is
+reshuffled under a fresh key, using the oblivious block sort — an
+``O((n + s) log^2 n)``-I/O rebuild, i.e. ``O(sqrt(n) log^2 n)`` amortized
+per access.
+
+Obliviousness: the shelter scan is fixed; the binary-search probe path is
+a function of a fresh pseudorandom tag that is never queried twice within
+an epoch; the shelter append position is the access counter.  None of it
+depends on the logical access sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.block_sort import oblivious_block_sort
+from repro.em.block import NULL_KEY, RECORD_WIDTH
+from repro.em.errors import EMError
+from repro.em.machine import EMMachine
+from repro.em.storage import EMArray
+from repro.util.mathx import ceil_div, ilog2
+
+__all__ = ["SquareRootORAM"]
+
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+_MASK64 = 0xFFFFFFFFFFFFFFFF
+#: Tag assigned to surplus dummies discarded during a rebuild.
+_INF_TAG = int(np.iinfo(np.int64).max)
+
+
+def _prf(key: int, x: int) -> int:
+    """63-bit pseudorandom tag for slot ``x`` under epoch ``key``."""
+    v = (key ^ (x * _GOLDEN)) & _MASK64
+    v = (v + _GOLDEN) & _MASK64
+    v ^= v >> 30
+    v = (v * _MIX1) & _MASK64
+    v ^= v >> 27
+    v = (v * _MIX2) & _MASK64
+    v ^= v >> 31
+    return v & 0x7FFFFFFFFFFFFFFE  # < INF_TAG
+
+
+@dataclass
+class _Counters:
+    accesses: int = 0
+    rebuilds: int = 0
+    epoch_position: int = 0
+    dummies_used: int = 0
+
+
+class SquareRootORAM:
+    """Oblivious memory of ``n`` logical blocks.
+
+    Parameters
+    ----------
+    machine:
+        The external-memory machine hosting the physical arrays.
+    n:
+        Number of logical cells, each one payload block.
+    rng:
+        Client randomness (epoch keys).
+    initial:
+        Optional ``EMArray`` of at least ``n`` blocks with initial payloads
+        (copied in obliviously); otherwise cells start empty.
+    """
+
+    def __init__(
+        self,
+        machine: EMMachine,
+        n: int,
+        rng: np.random.Generator,
+        *,
+        initial: EMArray | None = None,
+        name: str = "oram",
+    ) -> None:
+        if n < 1:
+            raise ValueError(f"ORAM needs at least one cell, got {n}")
+        self.machine = machine
+        self.n = n
+        self.rng = rng
+        self.s = max(1, ceil_div(int(np.ceil(np.sqrt(n))), 1))
+        self.n_store = n + self.s
+        self.name = name
+        self._counters = _Counters()
+        self._key = int(rng.integers(0, 2**62))
+        mach = machine
+        self.store_meta = mach.alloc(self.n_store, f"{name}.store.meta")
+        self.store_payload = mach.alloc(self.n_store, f"{name}.store.data")
+        self.shelter_meta = mach.alloc(self.s, f"{name}.shelter.meta")
+        self.shelter_payload = mach.alloc(self.s, f"{name}.shelter.data")
+        self._build_initial(initial)
+
+    # -- public API ---------------------------------------------------------
+
+    def read(self, i: int) -> np.ndarray:
+        """Obliviously read logical block ``i``."""
+        return self._access(i, None)
+
+    def write(self, i: int, block: np.ndarray) -> np.ndarray:
+        """Obliviously write logical block ``i``; returns the old value."""
+        return self._access(i, np.asarray(block, dtype=np.int64))
+
+    def dummy_op(self) -> None:
+        """Perform an access indistinguishable from a real one.
+
+        Fixed-schedule programs (like the Theorem-4 peeling loop) call
+        this when they have no real work in a step.
+        """
+        self._access(None, None)
+
+    @property
+    def accesses(self) -> int:
+        return self._counters.accesses
+
+    @property
+    def rebuilds(self) -> int:
+        return self._counters.rebuilds
+
+    def extract_to(self, out: EMArray) -> None:
+        """Obliviously dump the logical memory, in index order, into ``out``.
+
+        Performs a rebuild-style merge sorted by logical index and scans
+        the result out; the ORAM is left unusable afterwards.
+        """
+        if out.num_blocks < self.n:
+            raise ValueError(f"output needs {self.n} blocks, has {out.num_blocks}")
+        meta, payload = self._merge_dedup(sort_by_index=True)
+        mach = self.machine
+        with mach.cache.hold(2):
+            pos = 0
+            for j in range(meta.num_blocks):
+                mb = mach.read(meta, j)
+                pb = mach.read(payload, j)
+                idx = int(mb[0, 1])
+                if idx < self.n:
+                    # Real items are a sorted-by-index prefix after the merge.
+                    mach.write(out, pos, pb)
+                    pos += 1
+            if pos != self.n:
+                raise EMError(f"ORAM extract recovered {pos}/{self.n} cells")
+        mach.free(meta)
+        mach.free(payload)
+
+    # -- construction ----------------------------------------------------------
+
+    def _empty_block(self) -> np.ndarray:
+        blk = np.full((self.machine.B, RECORD_WIDTH), 0, dtype=np.int64)
+        blk[:, 0] = NULL_KEY
+        return blk
+
+    def _meta_block(self, key: int, idx: int) -> np.ndarray:
+        blk = np.full((self.machine.B, RECORD_WIDTH), 0, dtype=np.int64)
+        blk[:, 0] = NULL_KEY
+        blk[0, 0] = key
+        blk[0, 1] = idx
+        return blk
+
+    def _build_initial(self, initial: EMArray | None) -> None:
+        mach = self.machine
+        with mach.cache.hold(2):
+            for slot in range(self.n_store):
+                if slot < self.n:
+                    idx = slot
+                    payload = (
+                        mach.read(initial, slot) if initial is not None else self._empty_block()
+                    )
+                else:
+                    idx = self.n  # dummy
+                    payload = self._empty_block()
+                tag = _prf(self._key, slot)  # slot id doubles as tag input
+                mach.write(self.store_meta, slot, self._meta_block(tag, idx))
+                mach.write(self.store_payload, slot, payload)
+            for t in range(self.s):
+                mach.write(self.shelter_meta, t, self._meta_block(_INF_TAG, self.n))
+                mach.write(self.shelter_payload, t, self._empty_block())
+        # The tag of logical cell i must be PRF(key, i); above we tagged by
+        # slot which coincides for real cells (slot == idx) and gives
+        # dummies tags PRF(key, n), PRF(key, n+1), ...  Record the dummy
+        # numbering base so probes can find them.
+        self._dummy_base = self.n
+        oblivious_block_sort(
+            self.machine, [self.store_meta, self.store_payload]
+        )
+
+    # -- access ------------------------------------------------------------------
+
+    def _access(self, i: int | None, new_block: np.ndarray | None) -> np.ndarray:
+        """Unified oblivious access; ``i=None`` performs a dummy access."""
+        if i is not None and not (0 <= i < self.n):
+            raise IndexError(f"logical index {i} out of range [0, {self.n})")
+        mach = self.machine
+        c = self._counters
+        found: np.ndarray | None = None
+        with mach.cache.hold(3):
+            # 1. Scan the whole shelter (fixed pattern).
+            for t in range(self.s):
+                mb = mach.read(self.shelter_meta, t)
+                pb = mach.read(self.shelter_payload, t)
+                if i is not None and int(mb[0, 1]) == i and int(mb[0, 0]) != _INF_TAG:
+                    found = pb  # keep the freshest (latest) copy
+            # 2. Probe the store: real tag if unseen, else next dummy tag.
+            if i is None or found is not None:
+                probe_tag = _prf(self._key, self._dummy_base + c.dummies_used)
+                c.dummies_used += 1
+                if c.dummies_used > self.s:
+                    raise EMError("square-root ORAM exhausted its dummies")
+            else:
+                probe_tag = _prf(self._key, i)
+            slot_payload = self._binary_search(probe_tag)
+            if found is None and i is not None:
+                found = slot_payload
+            # 3. Append to the shelter.
+            value = found if new_block is None else new_block
+            if i is None:
+                shelter_meta = self._meta_block(0, self.n)  # dummy entry
+                shelter_payload = self._empty_block()
+            else:
+                shelter_meta = self._meta_block(0, i)
+                shelter_payload = value
+            mach.write(self.shelter_meta, c.epoch_position, shelter_meta)
+            mach.write(self.shelter_payload, c.epoch_position, shelter_payload)
+        c.accesses += 1
+        c.epoch_position += 1
+        if c.epoch_position == self.s:
+            self._rebuild()
+        if i is None:
+            return self._empty_block()
+        # Reads return the current value; writes return the displaced one.
+        return found if found is not None else self._empty_block()
+
+    def _binary_search(self, tag: int) -> np.ndarray:
+        """Fixed-length binary search for ``tag`` in the tag-sorted store.
+
+        Runs exactly ``ceil(log2(n_store)) + 1`` probe iterations
+        regardless of where the tag is found, then one payload read.
+        """
+        mach = self.machine
+        lo, hi = 0, self.n_store - 1
+        found_slot = -1
+        iters = ilog2(self.n_store) + 2
+        for _ in range(iters):
+            mid = (lo + hi) // 2
+            mb = mach.read(self.store_meta, mid)
+            mid_tag = int(mb[0, 0])
+            if mid_tag == tag:
+                found_slot = mid
+            if mid_tag < tag:
+                lo = min(mid + 1, self.n_store - 1)
+            else:
+                hi = max(mid - 1, 0)
+        if found_slot < 0:
+            raise EMError(
+                "ORAM probe missed its tag — tag collision or corrupted store"
+            )
+        return mach.read(self.store_payload, found_slot)
+
+    # -- rebuild ------------------------------------------------------------------
+
+    def _merge_dedup(self, *, sort_by_index: bool) -> tuple[EMArray, EMArray]:
+        """Merge store + shelter, keep freshest copy per index, mark the
+        rest dummy.  Returns (meta, payload) sorted by index (real items
+        first) when ``sort_by_index`` else left in post-dedup order."""
+        mach = self.machine
+        total = self.n_store + self.s
+        fresh_span = total + 2
+        meta = mach.alloc(total, f"{self.name}.merge.meta")
+        payload = mach.alloc(total, f"{self.name}.merge.data")
+        with mach.cache.hold(2):
+            # Copy store (freshness 0) then shelter (freshness t+1), with a
+            # composite sort key idx * span + (span - 1 - freshness).
+            for j in range(self.n_store):
+                mb = mach.read(self.store_meta, j)
+                idx = int(mb[0, 1])
+                key = idx * fresh_span + (fresh_span - 1)
+                mach.write(meta, j, self._meta_block(key, idx))
+                mach.write(payload, j, mach.read(self.store_payload, j))
+            for t in range(self.s):
+                mb = mach.read(self.shelter_meta, t)
+                idx = int(mb[0, 1])
+                key = idx * fresh_span + (fresh_span - 2 - t)
+                mach.write(meta, self.n_store + t, self._meta_block(key, idx))
+                mach.write(payload, self.n_store + t, mach.read(self.shelter_payload, t))
+        oblivious_block_sort(mach, [meta, payload])
+        # Dedup scan: the first slot of each index (freshest) survives.
+        with mach.cache.hold(2):
+            prev_idx = -1
+            for j in range(meta.num_blocks):
+                mb = mach.read(meta, j)
+                idx = int(mb[0, 1])
+                if idx == prev_idx or idx >= self.n:
+                    mb = self._meta_block(int(mb[0, 0]), self.n)  # dummy
+                else:
+                    prev_idx = idx
+                mach.write(meta, j, mb)
+        if sort_by_index:
+            with mach.cache.hold(1):
+                for j in range(meta.num_blocks):
+                    mb = mach.read(meta, j)
+                    idx = int(mb[0, 1])
+                    sort_key = idx if idx < self.n else _INF_TAG
+                    mach.write(meta, j, self._meta_block(sort_key, idx))
+            oblivious_block_sort(mach, [meta, payload])
+        return meta, payload
+
+    def _rebuild(self) -> None:
+        """End-of-epoch reshuffle under a fresh key."""
+        mach = self.machine
+        meta, payload = self._merge_dedup(sort_by_index=False)
+        self._key = int(self.rng.integers(0, 2**62))
+        # Assign fresh tags: real items by index, the first s dummies get
+        # fresh dummy tags, surplus dummies get +inf (truncated after sort).
+        with mach.cache.hold(1):
+            dummies = 0
+            for j in range(meta.num_blocks):
+                mb = mach.read(meta, j)
+                idx = int(mb[0, 1])
+                if idx < self.n:
+                    tag = _prf(self._key, idx)
+                elif dummies < self.s:
+                    tag = _prf(self._key, self._dummy_base + dummies)
+                    dummies += 1
+                else:
+                    tag = _INF_TAG
+                mach.write(meta, j, self._meta_block(tag, idx))
+        oblivious_block_sort(mach, [meta, payload])
+        # First n_store slots become the new store; clear the shelter.
+        with mach.cache.hold(2):
+            for j in range(self.n_store):
+                mach.write(self.store_meta, j, mach.read(meta, j))
+                mach.write(self.store_payload, j, mach.read(payload, j))
+            for t in range(self.s):
+                mach.write(self.shelter_meta, t, self._meta_block(_INF_TAG, self.n))
+                mach.write(self.shelter_payload, t, self._empty_block())
+        mach.free(meta)
+        mach.free(payload)
+        c = self._counters
+        c.rebuilds += 1
+        c.epoch_position = 0
+        c.dummies_used = 0

@@ -1,0 +1,29 @@
+"""Shared utilities: integer math helpers, RNG plumbing, Chernoff bounds.
+
+These are the leaf dependencies of every other subpackage; nothing in
+:mod:`repro.util` imports from elsewhere in the library.
+"""
+
+from repro.util.mathx import (
+    ceil_div,
+    ilog2,
+    is_pow2,
+    log_base,
+    log_star,
+    next_pow2,
+    tower_of_twos,
+)
+from repro.util.rng import child_rng, make_rng, spawn_rngs
+
+__all__ = [
+    "ceil_div",
+    "ilog2",
+    "is_pow2",
+    "log_base",
+    "log_star",
+    "next_pow2",
+    "tower_of_twos",
+    "make_rng",
+    "child_rng",
+    "spawn_rngs",
+]

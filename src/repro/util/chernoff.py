@@ -1,0 +1,158 @@
+"""Chernoff bound toolkit (paper Appendix A, Lemmas 22 and 23).
+
+The paper's high-probability analyses rest on two tail bounds:
+
+* **Lemma 22** — for a sum ``X`` of independent 0-1 variables with
+  ``mu >= E[X]`` and ``gamma > 2e``::
+
+      Pr(X > gamma * mu) < 2 ** (-gamma * mu * log2(gamma / e))
+
+* **Lemma 23** — for a sum ``X`` of ``n`` independent geometric variables
+  with parameter ``p`` (mean ``alpha = 1/p``), a family of bounds on
+  ``Pr(X > (alpha + t) * n)`` whose exponent constant depends on ``t/alpha``.
+
+This module evaluates both bounds numerically and provides Monte-Carlo
+estimators so experiment E11 can verify that the inequalities hold
+empirically (the bound curve must dominate the simulated tail).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "lemma22_bound",
+    "lemma23_bound",
+    "binomial_tail_mc",
+    "negative_binomial_tail_mc",
+    "TailComparison",
+    "compare_lemma22",
+    "compare_lemma23",
+]
+
+
+def lemma22_bound(gamma: float, mu: float) -> float:
+    """Evaluate the Lemma 22 bound ``2**(-gamma*mu*log2(gamma/e))``.
+
+    Valid for ``gamma > 2e``; raises otherwise, mirroring the lemma's
+    hypothesis rather than silently returning a vacuous value.
+    """
+    if gamma <= 2 * math.e:
+        raise ValueError(f"Lemma 22 requires gamma > 2e, got {gamma}")
+    if mu <= 0:
+        raise ValueError(f"mu must be positive, got {mu}")
+    exponent = -gamma * mu * math.log2(gamma / math.e)
+    return float(2.0**exponent)
+
+
+def lemma23_bound(t: float, p: float, n: int) -> float:
+    """Evaluate the Lemma 23 bound on ``Pr(X > (alpha + t) n)``.
+
+    ``X`` is the sum of ``n`` independent geometric(p) variables and
+    ``alpha = 1/p``.  The lemma gives five regimes; we return the tightest
+    applicable one:
+
+    * ``0 < t < alpha/2``  ->  ``exp(-(t p)^2 n / 3)``
+    * ``t >= alpha/2``     ->  ``exp(-t p n / 9)``
+    * ``t >= alpha``       ->  ``exp(-t p n / 5)``
+    * ``t >= 2 alpha``     ->  ``exp(-t p n / 3)``
+    * ``t >= 3 alpha``     ->  ``exp(-t p n / 2)``
+    """
+    if not (0.0 < p <= 1.0):
+        raise ValueError(f"p must lie in (0, 1], got {p}")
+    if t <= 0:
+        raise ValueError(f"t must be positive, got {t}")
+    if n <= 0:
+        raise ValueError(f"n must be positive, got {n}")
+    alpha = 1.0 / p
+    tp = t * p
+    if t >= 3 * alpha:
+        return math.exp(-tp * n / 2)
+    if t >= 2 * alpha:
+        return math.exp(-tp * n / 3)
+    if t >= alpha:
+        return math.exp(-tp * n / 5)
+    if t >= alpha / 2:
+        return math.exp(-tp * n / 9)
+    return math.exp(-(tp**2) * n / 3)
+
+
+def binomial_tail_mc(
+    n: int,
+    p: float,
+    threshold: float,
+    trials: int,
+    rng: np.random.Generator,
+) -> float:
+    """Monte-Carlo estimate of ``Pr(Binomial(n, p) > threshold)``."""
+    draws = rng.binomial(n, p, size=trials)
+    return float(np.mean(draws > threshold))
+
+
+def negative_binomial_tail_mc(
+    n: int,
+    p: float,
+    threshold: float,
+    trials: int,
+    rng: np.random.Generator,
+) -> float:
+    """Monte-Carlo estimate of ``Pr(sum of n geometrics(p) > threshold)``.
+
+    Geometric variables here follow the paper's convention of support
+    ``{1, 2, ...}`` (number of trials up to and including the first
+    success), so the sum is ``n + NegativeBinomial(n, p)`` in NumPy's
+    number-of-failures convention.
+    """
+    draws = rng.negative_binomial(n, p, size=trials) + n
+    return float(np.mean(draws > threshold))
+
+
+@dataclass(frozen=True)
+class TailComparison:
+    """One point of a bound-vs-simulation comparison (experiment E11)."""
+
+    threshold: float
+    bound: float
+    empirical: float
+
+    @property
+    def holds(self) -> bool:
+        """True when the proved bound dominates the simulated tail."""
+        return self.bound >= self.empirical
+
+
+def compare_lemma22(
+    n: int,
+    p: float,
+    gamma: float,
+    trials: int,
+    rng: np.random.Generator,
+) -> TailComparison:
+    """Compare Lemma 22's bound with the empirical binomial tail."""
+    mu = n * p
+    threshold = gamma * mu
+    return TailComparison(
+        threshold=threshold,
+        bound=min(1.0, lemma22_bound(gamma, mu)),
+        empirical=binomial_tail_mc(n, p, threshold, trials, rng),
+    )
+
+
+def compare_lemma23(
+    n: int,
+    p: float,
+    t: float,
+    trials: int,
+    rng: np.random.Generator,
+) -> TailComparison:
+    """Compare Lemma 23's bound with the empirical negative-binomial tail."""
+    alpha = 1.0 / p
+    threshold = (alpha + t) * n
+    return TailComparison(
+        threshold=threshold,
+        bound=min(1.0, lemma23_bound(t, p, n)),
+        empirical=negative_binomial_tail_mc(n, p, threshold, trials, rng),
+    )

@@ -1,0 +1,152 @@
+"""Tests for data consolidation (Lemma 3) and multi-way consolidation (§5)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.consolidation import consolidate, multiway_consolidate
+from repro.em import EMMachine, make_records
+from repro.em.block import is_empty
+
+
+def machine_with(keys, B=4, M=64, holes=None):
+    """Load keys into an array, optionally leaving empty cells (holes)."""
+    mach = EMMachine(M=M, B=B)
+    keys = np.asarray(keys, dtype=np.int64)
+    recs = make_records(keys)
+    if holes:
+        # Spread records out with empty cells between them.
+        n_cells = len(keys) * 2
+        arr = mach.alloc_cells(max(1, n_cells))
+        flat = arr.raw.reshape(-1, 2)
+        for t, rec in enumerate(recs):
+            flat[2 * t + 1] = rec
+    else:
+        arr = mach.alloc_cells(max(1, len(keys)))
+        arr.load_flat(recs)
+    return mach, arr
+
+
+class TestConsolidate:
+    def test_lemma3_io_count(self):
+        """Exactly n reads and n+1 writes (Lemma 3's dN/Be I/O claim)."""
+        mach, arr = machine_with(range(20), B=4)
+        with mach.meter() as meter:
+            consolidate(mach, arr)
+        assert meter.reads == arr.num_blocks
+        assert meter.writes == arr.num_blocks + 1
+
+    def test_blocks_full_or_empty(self):
+        mach, arr = machine_with(range(10), B=4, holes=True)
+        res = consolidate(mach, arr)
+        out = res.array
+        partial_blocks = 0
+        for j in range(out.num_blocks):
+            occ = int(np.count_nonzero(~is_empty(out.raw[j])))
+            if 0 < occ < 4:
+                partial_blocks += 1
+        assert partial_blocks <= 1
+
+    def test_order_preserving(self):
+        mach, arr = machine_with([5, 9, 1, 7, 3], B=2, holes=True)
+        res = consolidate(mach, arr)
+        assert list(res.array.nonempty()[:, 0]) == [5, 9, 1, 7, 3]
+
+    def test_counts(self):
+        mach, arr = machine_with(range(13), B=4)
+        res = consolidate(mach, arr)
+        assert res.num_distinguished == 13
+        assert res.num_full_blocks == 3
+
+    def test_custom_predicate(self):
+        mach, arr = machine_with([1, 100, 2, 200, 300], B=2)
+        res = consolidate(
+            mach, arr, distinguished_fn=lambda recs: recs[:, 0] >= 100
+        )
+        assert list(res.array.nonempty()[:, 0]) == [100, 200, 300]
+
+    def test_all_empty_input(self):
+        mach = EMMachine(M=64, B=4)
+        arr = mach.alloc(3)
+        res = consolidate(mach, arr)
+        assert res.num_distinguished == 0
+        assert len(res.array.nonempty()) == 0
+
+    def test_oblivious_trace(self):
+        def run(keys):
+            mach, arr = machine_with(keys, B=4)
+            consolidate(mach, arr)
+            return mach.trace.fingerprint()
+
+        assert run([1, 2, 3, 4, 5, 6, 7, 8]) == run([8, 8, 8, 8, 8, 8, 8, 8])
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.lists(st.integers(0, 2**40), min_size=0, max_size=60))
+    def test_roundtrip_property(self, keys):
+        mach, arr = machine_with(keys, B=4, holes=True) if keys else machine_with([0], B=4)
+        if not keys:
+            return
+        res = consolidate(mach, arr)
+        assert list(res.array.nonempty()[:, 0]) == keys
+
+
+class TestMultiwayConsolidate:
+    def color_fn(self, num_colors):
+        def fn(recs):
+            return recs[:, 0] % num_colors
+
+        return fn
+
+    def test_blocks_monochromatic(self):
+        mach, arr = machine_with(range(32), B=4, M=128)
+        res = multiway_consolidate(mach, arr, 3, self.color_fn(3))
+        for j in range(res.array.num_blocks):
+            blk = res.array.raw[j]
+            keys = blk[~is_empty(blk)][:, 0]
+            if len(keys):
+                assert len(set(int(k) % 3 for k in keys)) == 1
+
+    def test_no_records_lost(self):
+        mach, arr = machine_with(range(50), B=4, M=256)
+        res = multiway_consolidate(mach, arr, 4, self.color_fn(4))
+        assert sorted(res.array.nonempty()[:, 0].tolist()) == list(range(50))
+
+    def test_color_counts(self):
+        mach, arr = machine_with(range(30), B=4, M=128)
+        res = multiway_consolidate(mach, arr, 3, self.color_fn(3))
+        assert list(res.color_counts) == [10, 10, 10]
+
+    def test_relative_order_within_color(self):
+        mach, arr = machine_with([3, 6, 9, 12, 1, 4, 7, 2], B=2, M=128)
+        res = multiway_consolidate(mach, arr, 3, self.color_fn(3))
+        keys = res.array.nonempty()[:, 0]
+        per_color = {c: [int(k) for k in keys if k % 3 == c] for c in range(3)}
+        assert per_color[0] == [3, 6, 9, 12]
+        assert per_color[1] == [1, 4, 7]
+        assert per_color[2] == [2]
+
+    def test_oblivious_trace(self):
+        def run(keys):
+            mach, arr = machine_with(keys, B=4, M=128)
+            multiway_consolidate(mach, arr, 3, self.color_fn(3))
+            return mach.trace.fingerprint()
+
+        assert run(list(range(24))) == run([7] * 24)
+
+    def test_validation(self):
+        mach, arr = machine_with(range(8), B=4, M=128)
+        with pytest.raises(ValueError):
+            multiway_consolidate(mach, arr, 0, self.color_fn(1))
+        with pytest.raises(ValueError):
+            multiway_consolidate(mach, arr, 2, lambda recs: recs[:, 0] % 5)
+
+    @settings(deadline=None, max_examples=20)
+    @given(
+        st.lists(st.integers(0, 1000), min_size=1, max_size=50),
+        st.integers(1, 4),
+    )
+    def test_preservation_property(self, keys, num_colors):
+        mach, arr = machine_with(keys, B=4, M=256)
+        res = multiway_consolidate(mach, arr, num_colors, self.color_fn(num_colors))
+        assert sorted(res.array.nonempty()[:, 0].tolist()) == sorted(keys)

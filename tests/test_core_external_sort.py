@@ -1,0 +1,112 @@
+"""Tests for the Lemma-2-style deterministic oblivious external sort."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.external_sort import oblivious_external_sort
+from repro.em import EMMachine, make_records
+from repro.util.mathx import log_base
+
+
+def run_sort(keys, B=4, M=64, run_blocks=None):
+    mach = EMMachine(M=M, B=B)
+    arr = mach.alloc_cells(max(1, len(keys)))
+    arr.load_flat(make_records(keys))
+    out = oblivious_external_sort(mach, arr, run_blocks=run_blocks)
+    return mach, out
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("n", [0, 1, 5, 16, 33, 100, 257])
+    def test_sorts_random(self, n):
+        keys = np.random.default_rng(n).integers(0, 10**6, size=n)
+        _, out = run_sort(keys)
+        assert np.array_equal(out.nonempty()[:, 0], np.sort(keys))
+
+    def test_sorts_adversarial(self):
+        for keys in [[5] * 40, list(range(40)), list(range(40))[::-1]]:
+            _, out = run_sort(keys)
+            assert np.array_equal(out.nonempty()[:, 0], np.sort(keys))
+
+    def test_values_follow_keys(self):
+        keys = [3, 1, 2]
+        mach = EMMachine(M=64, B=4)
+        arr = mach.alloc_cells(3)
+        arr.load_flat(make_records(keys, values=[30, 10, 20]))
+        out = oblivious_external_sort(mach, arr)
+        real = out.nonempty()
+        assert real[:, 1].tolist() == [10, 20, 30]
+
+    def test_input_untouched(self):
+        mach = EMMachine(M=64, B=4)
+        arr = mach.alloc_cells(8)
+        arr.load_flat(make_records([4, 3, 2, 1, 8, 7, 6, 5]))
+        before = arr.flat().copy()
+        oblivious_external_sort(mach, arr)
+        assert np.array_equal(arr.flat(), before)
+
+    def test_empties_sort_last(self):
+        mach = EMMachine(M=64, B=4)
+        arr = mach.alloc(4)  # 16 cells
+        flat = arr.raw.reshape(-1, 2)
+        flat[3] = [5, 5]
+        flat[9] = [1, 1]
+        out = oblivious_external_sort(mach, arr)
+        packed = out.flat()
+        assert packed[0, 0] == 1 and packed[1, 0] == 5
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.lists(st.integers(0, 2**40), min_size=0, max_size=120))
+    def test_matches_numpy_property(self, keys):
+        _, out = run_sort(keys, B=4, M=48)
+        assert np.array_equal(
+            out.nonempty()[:, 0], np.sort(np.asarray(keys, dtype=np.int64))
+        )
+
+    def test_tiny_cache(self):
+        """M = 2B (the weakest model the paper allows) still sorts."""
+        keys = np.random.default_rng(0).integers(0, 1000, size=40)
+        _, out = run_sort(keys, B=4, M=8)
+        assert np.array_equal(out.nonempty()[:, 0], np.sort(keys))
+
+    def test_run_blocks_validation(self):
+        with pytest.raises(ValueError):
+            run_sort(range(40), B=4, M=32, run_blocks=8)  # 2*8 > 8 blocks
+
+
+class TestObliviousness:
+    def test_trace_independent_of_data(self):
+        def run(keys):
+            mach, _ = run_sort(keys, B=4, M=48)
+            return mach.trace.fingerprint()
+
+        n = 64
+        a = run(list(range(n)))
+        b = run([0] * n)
+        c = run(list(range(n))[::-1])
+        assert a == b == c
+
+
+class TestIOComplexity:
+    def io_count(self, n, B=4, M=64):
+        keys = np.arange(n)
+        mach = EMMachine(M=M, B=B, trace=False)
+        arr = mach.alloc_cells(n)
+        arr.load_flat(make_records(keys))
+        with mach.meter() as meter:
+            oblivious_external_sort(mach, arr)
+        return meter.total
+
+    def test_log_squared_shape(self):
+        """I/Os grow as (N/B) log^2(N/M): quadrupling N at fixed M should
+        scale I/Os by clearly less than the naive comparator-network
+        factor but more than linearly."""
+        io_1 = self.io_count(256)
+        io_4 = self.io_count(1024)
+        ratio = io_4 / io_1
+        assert 4.0 < ratio < 14.0
+
+    def test_bigger_cache_fewer_ios(self):
+        assert self.io_count(512, M=256) < self.io_count(512, M=32)

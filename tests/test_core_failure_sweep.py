@@ -1,0 +1,111 @@
+"""Tests for data-oblivious failure sweeping (§5) via fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.core.failure_sweep import SweepOverflow, failure_sweep
+from repro.em import EMMachine, make_block
+from repro.em.block import is_empty
+
+
+def segment_records(arr, lo, hi):
+    recs = []
+    for j in range(lo, hi):
+        blk = arr.raw[j]
+        recs.extend(int(k) for k in blk[~is_empty(blk)][:, 0])
+    return recs
+
+
+def build_segments(mach, segments):
+    """segments: list of lists of keys; each becomes blocks of B keys."""
+    B = mach.B
+    bounds = []
+    blocks = []
+    for keys in segments:
+        lo = len(blocks)
+        for t in range(0, max(1, len(keys)), B):
+            chunk = keys[t : t + B]
+            blocks.append(chunk)
+        bounds.append((lo, len(blocks)))
+    arr = mach.alloc(len(blocks), "concat")
+    for j, chunk in enumerate(blocks):
+        if chunk:
+            arr.raw[j] = make_block(chunk, B=B)
+    return arr, bounds
+
+
+class TestFailureSweep:
+    def test_repairs_single_failed_segment(self):
+        mach = EMMachine(M=256, B=4)
+        good = list(range(0, 16))  # sorted
+        bad = [40, 37, 42, 33, 39, 36, 41, 38]  # scrambled
+        arr, bounds = build_segments(mach, [good, bad])
+        out = failure_sweep(mach, arr, bounds, [False, True], max_failed_blocks=2)
+        lo, hi = bounds[1]
+        assert segment_records(out, lo, hi) == sorted(bad)
+        glo, ghi = bounds[0]
+        assert segment_records(out, glo, ghi) == good
+
+    def test_noop_when_nothing_failed(self):
+        mach = EMMachine(M=256, B=4)
+        arr, bounds = build_segments(mach, [list(range(8)), list(range(10, 18))])
+        before = arr.flat().copy()
+        out = failure_sweep(mach, arr, bounds, [False, False], max_failed_blocks=2)
+        assert np.array_equal(out.flat(), before)
+
+    def test_repairs_multiple_failures(self):
+        mach = EMMachine(M=512, B=4)
+        segs = [
+            list(range(0, 8)),
+            [19, 17, 16, 18],
+            list(range(20, 28)),
+            [31, 30, 33, 32],
+        ]
+        arr, bounds = build_segments(mach, segs)
+        out = failure_sweep(
+            mach, arr, bounds, [False, True, False, True], max_failed_blocks=4
+        )
+        for i in (1, 3):
+            lo, hi = bounds[i]
+            assert segment_records(out, lo, hi) == sorted(segs[i])
+        for i in (0, 2):
+            lo, hi = bounds[i]
+            assert segment_records(out, lo, hi) == segs[i]
+
+    def test_capacity_overflow(self):
+        mach = EMMachine(M=256, B=4)
+        arr, bounds = build_segments(mach, [list(range(16)), [5, 4, 3, 2]])
+        with pytest.raises(SweepOverflow):
+            failure_sweep(mach, arr, bounds, [True, True], max_failed_blocks=1)
+
+    def test_oblivious_trace_independent_of_mask(self):
+        """The adversary must not learn WHICH segments failed."""
+
+        def run(failed):
+            mach = EMMachine(M=256, B=4)
+            arr, bounds = build_segments(
+                mach, [[3, 1, 2, 0], [7, 6, 5, 4], [8, 9, 10, 11]]
+            )
+            failure_sweep(mach, arr, bounds, failed, max_failed_blocks=1)
+            return mach.trace.fingerprint()
+
+        a = run([True, False, False])
+        b = run([False, False, True])
+        c = run([False, False, False])
+        assert a == b == c
+
+    def test_partial_blocks_in_failed_segment(self):
+        """Segments whose record count is not a multiple of B re-block
+        correctly (tight prefix, padding after)."""
+        mach = EMMachine(M=256, B=4)
+        segs = [list(range(8)), [23, 21, 22]]  # 3 records in 1 block
+        arr, bounds = build_segments(mach, segs)
+        out = failure_sweep(mach, arr, bounds, [False, True], max_failed_blocks=1)
+        lo, hi = bounds[1]
+        assert segment_records(out, lo, hi) == [21, 22, 23]
+
+    def test_validation(self):
+        mach = EMMachine(M=256, B=4)
+        arr, bounds = build_segments(mach, [[1, 2], [3, 4]])
+        with pytest.raises(ValueError):
+            failure_sweep(mach, arr, bounds, [True], max_failed_blocks=1)

@@ -1,0 +1,115 @@
+"""Tests for data-oblivious quantile selection (Theorem 17)."""
+
+import numpy as np
+import pytest
+
+from repro.core.quantiles import QuantileFailure, quantiles_em
+from repro.em import EMMachine, make_records
+from repro.util.rng import make_rng
+
+
+def build(keys, B=4, M=512):
+    mach = EMMachine(M=M, B=B)
+    arr = mach.alloc_cells(max(1, len(keys)))
+    arr.load_flat(make_records(keys))
+    return mach, arr
+
+
+def quantiles_with_retry(mach, arr, n, q, seed=0, **kw):
+    for attempt in range(6):
+        try:
+            return quantiles_em(mach, arr, n, q, make_rng(seed + attempt), **kw)
+        except QuantileFailure:
+            continue
+    raise AssertionError("quantiles failed 6 times — bounds badly off")
+
+
+def true_quantiles(keys, q):
+    s = np.sort(np.asarray(keys))
+    n = len(s)
+    return [int(s[max(1, min(n, round(i * n / (q + 1)))) - 1]) for i in range(1, q + 1)]
+
+
+class TestQuantileCorrectness:
+    def test_in_cache_path_exact(self):
+        keys = np.random.default_rng(0).permutation(np.arange(1, 33))
+        mach, arr = build(keys, M=512)  # 32 items in 8 blocks, m=128: in cache
+        got = quantiles_em(mach, arr, 32, 3, make_rng(0))
+        assert got.tolist() == true_quantiles(keys, 3)
+
+    @pytest.mark.parametrize("q", [1, 2, 3, 5])
+    def test_sampling_path_exact(self, q):
+        rng = np.random.default_rng(1)
+        keys = rng.permutation(np.arange(1, 257))
+        mach, arr = build(keys, M=64)  # 64 blocks of data, m=16: sampling path
+        got = quantiles_with_retry(mach, arr, 256, q)
+        assert got.tolist() == true_quantiles(keys, q)
+
+    def test_duplicates(self):
+        keys = [5] * 100 + [9] * 100
+        mach, arr = build(keys, M=64)
+        got = quantiles_with_retry(mach, arr, 200, 1)
+        assert got.tolist() == [5]
+
+    def test_report(self):
+        keys = np.random.default_rng(2).permutation(np.arange(1, 257))
+        mach, arr = build(keys, M=64)
+        rep = quantiles_with_retry(mach, arr, 256, 2, report=True)
+        assert rep.keys.tolist() == true_quantiles(keys, 2)
+        assert rep.sample_size >= 1
+
+    def test_validation(self):
+        mach, arr = build([1, 2, 3])
+        with pytest.raises(ValueError):
+            quantiles_em(mach, arr, 3, 0, make_rng(0))
+        with pytest.raises(ValueError):
+            quantiles_em(mach, arr, 2, 3, make_rng(0))
+
+    def test_model_bound_enforcement(self):
+        keys = np.arange(1, 257)
+        mach, arr = build(keys, M=64)
+        with pytest.raises(ValueError):
+            quantiles_em(mach, arr, 256, 5, make_rng(0), enforce_model_bound=True)
+
+
+class TestQuantileObliviousness:
+    def test_trace_independent_of_data(self):
+        def run(keys, seed):
+            mach, arr = build(keys, M=64)
+            quantiles_em(mach, arr, len(keys), 2, make_rng(seed))
+            return mach.trace.fingerprint()
+
+        n = 256
+        a = list(range(1, n + 1))
+        b = [((x * 37) % 1000) + 1 for x in range(n)]
+        for seed in range(20):
+            try:
+                fa = run(a, seed)
+                fb = run(b, seed)
+            except QuantileFailure:
+                continue
+            assert fa == fb
+            return
+        raise AssertionError("no common succeeding seed found")
+
+
+class TestQuantileIOScaling:
+    def test_linear_io_shape(self):
+        """E7: I/Os per item bounded as n grows (Theorem 17's O(N/B))."""
+
+        def ios(n):
+            keys = np.random.default_rng(n).permutation(np.arange(1, n + 1))
+            mach = EMMachine(M=64, B=4, trace=False)
+            arr = mach.alloc_cells(n)
+            arr.load_flat(make_records(keys))
+            for attempt in range(6):
+                try:
+                    with mach.meter() as meter:
+                        quantiles_em(mach, arr, n, 2, make_rng(attempt))
+                    return meter.total
+                except QuantileFailure:
+                    continue
+            raise AssertionError("quantiles kept failing")
+
+        per_item = [ios(n) / n for n in (256, 512, 1024)]
+        assert max(per_item) / min(per_item) < 1.8

@@ -1,0 +1,135 @@
+"""Tests for shuffle-and-deal (§5, Lemma 18 / Corollary 19)."""
+
+import numpy as np
+import pytest
+
+from repro.core.shuffle import DealOverflow, knuth_block_shuffle, shuffle_and_deal
+from repro.em import EMMachine, make_block
+from repro.em.block import is_empty
+from repro.util.rng import make_rng
+
+
+def load_colored(mach, colors_per_block):
+    """Block j gets key = colour (None = empty block)."""
+    arr = mach.alloc(len(colors_per_block), "A")
+    for j, c in enumerate(colors_per_block):
+        if c is not None:
+            arr.raw[j] = make_block([c], values=[j], B=mach.B)
+    return arr
+
+
+def block_keys(arr):
+    out = []
+    for j in range(arr.num_blocks):
+        blk = arr.raw[j]
+        if not is_empty(blk).all():
+            out.append(int(blk[0, 0]))
+    return out
+
+
+class TestKnuthShuffle:
+    def test_preserves_multiset(self):
+        mach = EMMachine(M=64, B=4)
+        arr = load_colored(mach, list(range(20)))
+        knuth_block_shuffle(mach, arr, make_rng(0))
+        assert sorted(block_keys(arr)) == list(range(20))
+
+    def test_actually_permutes(self):
+        mach = EMMachine(M=64, B=4)
+        arr = load_colored(mach, list(range(50)))
+        knuth_block_shuffle(mach, arr, make_rng(1))
+        assert block_keys(arr) != list(range(50))
+
+    def test_uniformity_chi_squared(self):
+        """Every block should land in every position about equally often."""
+        n, trials = 6, 3000
+        counts = np.zeros((n, n))
+        for t in range(trials):
+            mach = EMMachine(M=64, B=4, trace=False)
+            arr = load_colored(mach, list(range(n)))
+            knuth_block_shuffle(mach, arr, make_rng(t))
+            for pos, key in enumerate(block_keys(arr)):
+                counts[key, pos] += 1
+        expected = trials / n
+        chi2 = ((counts - expected) ** 2 / expected).sum()
+        # dof = (n-1)^2 = 25; 99.9th percentile ~ 52.6.
+        assert chi2 < 60
+
+    def test_io_count(self):
+        mach = EMMachine(M=64, B=4)
+        arr = load_colored(mach, list(range(10)))
+        with mach.meter() as meter:
+            knuth_block_shuffle(mach, arr, make_rng(0))
+        assert meter.reads == 20 and meter.writes == 20
+
+    def test_oblivious_trace(self):
+        def run(keys):
+            mach = EMMachine(M=64, B=4)
+            arr = load_colored(mach, keys)
+            knuth_block_shuffle(mach, arr, make_rng(9))
+            return mach.trace.fingerprint()
+
+        assert run(list(range(12))) == run([0] * 12)
+
+
+class TestShuffleAndDeal:
+    def deal(self, colors_per_block, num_colors, seed=0, **kw):
+        mach = EMMachine(M=256, B=4)
+        arr = load_colored(mach, colors_per_block)
+        res = shuffle_and_deal(
+            mach, arr, num_colors, lambda blk: int(blk[0, 0]), make_rng(seed), **kw
+        )
+        return mach, res
+
+    def test_blocks_routed_to_own_color(self):
+        layout = [j % 3 for j in range(30)]
+        mach, res = self.deal(layout, 3)
+        for c in range(3):
+            keys = block_keys(res.arrays[c])
+            assert all(k == c for k in keys)
+            assert len(keys) == 10
+
+    def test_occupied_counts(self):
+        layout = [0] * 7 + [1] * 5
+        mach, res = self.deal(layout, 2, seed=3)
+        assert list(res.occupied) == [7, 5]
+
+    def test_empty_blocks_dropped(self):
+        layout = [0, None, 1, None, 0]
+        mach, res = self.deal(layout, 2, seed=1)
+        assert list(res.occupied) == [2, 1]
+
+    def test_per_batch_write_pattern_fixed(self):
+        """The trace must not depend on the colour distribution."""
+
+        def run(layout):
+            mach, _ = self.deal(layout, 2, seed=5)
+            return mach.trace.fingerprint()
+
+        a = run([0] * 10 + [1] * 10)
+        b = run([1] * 10 + [0] * 10)
+        assert a == b
+
+    def test_overflow_raises(self):
+        # Every block the same colour with tiny slots must overflow.
+        layout = [0] * 40
+        with pytest.raises(DealOverflow):
+            self.deal(layout, 4, per_color_slots=1, batch_blocks=16)
+
+    def test_color_validation(self):
+        mach = EMMachine(M=256, B=4)
+        arr = load_colored(mach, [5])
+        with pytest.raises(ValueError):
+            shuffle_and_deal(mach, arr, 2, lambda blk: int(blk[0, 0]), make_rng(0))
+
+    def test_lemma18_balance_over_seeds(self):
+        """Corollary 19 empirically: with the default factor the deal
+        essentially never overflows for balanced colours."""
+        layout = [j % 4 for j in range(64)]
+        failures = 0
+        for seed in range(30):
+            try:
+                self.deal(layout, 4, seed=seed)
+            except DealOverflow:
+                failures += 1
+        assert failures == 0

@@ -1,0 +1,179 @@
+"""Tests for the invertible Bloom lookup table (paper §2, Lemma 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.iblt import IBLT, PartitionedHashFamily
+
+
+class TestPartitionedHashFamily:
+    def test_locations_distinct_per_key(self):
+        fam = PartitionedHashFamily(k=4, m=64, seed=1)
+        locs = fam.locations(np.arange(100))
+        for row in locs:
+            assert len(set(row.tolist())) == 4
+
+    def test_locations_within_partitions(self):
+        k, m = 3, 30
+        fam = PartitionedHashFamily(k=k, m=m, seed=2)
+        locs = fam.locations(np.arange(200))
+        part = m // k
+        for i in range(k):
+            assert (locs[:, i] >= i * part).all()
+            assert (locs[:, i] < (i + 1) * part).all()
+
+    def test_scalar_and_vector_agree(self):
+        fam = PartitionedHashFamily(k=3, m=30, seed=3)
+        vec = fam.locations(np.array([42]))
+        scal = fam.locations(42)
+        assert np.array_equal(vec[0], scal)
+
+    def test_deterministic_across_instances(self):
+        a = PartitionedHashFamily(3, 30, seed=9).locations(np.arange(50))
+        b = PartitionedHashFamily(3, 30, seed=9).locations(np.arange(50))
+        assert np.array_equal(a, b)
+
+    def test_seed_changes_hashes(self):
+        a = PartitionedHashFamily(3, 300, seed=1).locations(np.arange(50))
+        b = PartitionedHashFamily(3, 300, seed=2).locations(np.arange(50))
+        assert not np.array_equal(a, b)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartitionedHashFamily(1, 10, seed=0)
+        with pytest.raises(ValueError):
+            PartitionedHashFamily(4, 3, seed=0)
+
+    def test_spread_is_reasonable(self):
+        """Each partition's cells should all be reachable (no dead zones)."""
+        fam = PartitionedHashFamily(k=2, m=20, seed=5)
+        locs = fam.locations(np.arange(2000))
+        assert len(np.unique(locs)) == 20
+
+
+class TestIBLTBasics:
+    def test_insert_get(self):
+        t = IBLT(m=48, k=3, seed=0)
+        t.insert(5, 50)
+        assert t.get(5) == 50
+
+    def test_get_absent_returns_none(self):
+        t = IBLT(m=48, k=3, seed=0)
+        t.insert(5, 50)
+        assert t.get(6) is None
+
+    def test_delete_restores_empty(self):
+        t = IBLT(m=48, k=3, seed=0)
+        t.insert(5, 50)
+        t.delete(5, 50)
+        assert t.is_empty
+        assert len(t) == 0
+
+    def test_size_tracking(self):
+        t = IBLT(m=48, k=3, seed=0)
+        for i in range(5):
+            t.insert(i, i * 10)
+        assert len(t) == 5
+
+    def test_insert_batch_matches_loop(self):
+        t1 = IBLT(m=90, k=3, seed=7)
+        t2 = IBLT(m=90, k=3, seed=7)
+        keys = np.arange(20)
+        vals = keys * 3
+        for k, v in zip(keys, vals):
+            t1.insert(int(k), int(v))
+        t2.insert_batch(keys, vals)
+        assert np.array_equal(t1.count, t2.count)
+        assert np.array_equal(t1.key_sum, t2.key_sum)
+        assert np.array_equal(t1.value_sum, t2.value_sum)
+
+    def test_overload_insert_still_succeeds(self):
+        """Insertions can exceed capacity m (paper: inserts always succeed)."""
+        t = IBLT(m=9, k=3, seed=0)
+        for i in range(100):
+            t.insert(i, i)
+        assert len(t) == 100
+
+
+class TestListEntries:
+    def test_lists_all_pairs(self):
+        t = IBLT(m=120, k=3, seed=1)
+        pairs = {i: i * 7 for i in range(20)}
+        for k, v in pairs.items():
+            t.insert(k, v)
+        res = t.list_entries()
+        assert res.complete
+        assert res.as_dict() == pairs
+
+    def test_nondestructive_by_default(self):
+        t = IBLT(m=60, k=3, seed=1)
+        t.insert(3, 30)
+        t.list_entries()
+        assert t.get(3) == 30
+
+    def test_destructive_empties_table(self):
+        t = IBLT(m=60, k=3, seed=1)
+        t.insert(3, 30)
+        res = t.list_entries(destructive=True)
+        assert res.complete
+        assert t.is_empty
+
+    def test_empty_table_lists_nothing(self):
+        t = IBLT(m=30, k=3, seed=0)
+        res = t.list_entries()
+        assert res.complete
+        assert len(res) == 0
+
+    def test_overloaded_table_reports_incomplete(self):
+        t = IBLT(m=9, k=3, seed=0)
+        for i in range(60):
+            t.insert(i, i)
+        res = t.list_entries()
+        assert not res.complete
+
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.dictionaries(st.integers(0, 2**40), st.integers(0, 2**40), max_size=40),
+        st.integers(0, 1000),
+    )
+    def test_roundtrip_property(self, pairs, seed):
+        """At m = 6n (delta=2, k=3 per Lemma 1), listing recovers everything."""
+        n = max(1, len(pairs))
+        t = IBLT(m=6 * n + 3, k=3, seed=seed)
+        for k, v in pairs.items():
+            t.insert(k, v)
+        res = t.list_entries()
+        assert res.complete
+        assert res.as_dict() == pairs
+
+
+class TestLemma1SuccessRate:
+    """Empirical check of Lemma 1: at m >= delta*k*n the listing succeeds
+    with overwhelming probability."""
+
+    def test_success_rate_at_capacity(self):
+        n = 40
+        failures = 0
+        trials = 120
+        for seed in range(trials):
+            t = IBLT(m=2 * 3 * n, k=3, seed=seed)
+            for i in range(n):
+                t.insert(i, i)
+            if not t.list_entries().complete:
+                failures += 1
+        assert failures <= 1  # 1 - 1/n^c with generous slack
+
+    def test_failure_rate_when_overloaded(self):
+        """Well past the peeling threshold, failures must dominate —
+        guards against a trivially-true 'always complete' bug."""
+        n = 60
+        failures = 0
+        for seed in range(20):
+            t = IBLT(m=n // 2, k=3, seed=seed)
+            for i in range(n):
+                t.insert(i, i)
+            if not t.list_entries().complete:
+                failures += 1
+        assert failures >= 18

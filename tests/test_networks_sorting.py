@@ -1,0 +1,177 @@
+"""Tests for comparator primitives and the sorting networks.
+
+The deterministic networks are verified exhaustively via the 0-1 principle
+for small sizes and by property tests on random inputs for larger sizes.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.em.block import NULL_KEY
+from repro.networks import (
+    batcher_pairs,
+    batcher_sort,
+    bitonic_pairs,
+    bitonic_sort,
+    compare_exchange,
+    order_keys,
+    randomized_shellsort,
+    records_sorted,
+    sort_records,
+)
+
+
+def recs(keys):
+    keys = np.asarray(keys, dtype=np.int64)
+    return np.column_stack([keys, np.arange(len(keys), dtype=np.int64)])
+
+
+class TestComparatorPrimitives:
+    def test_order_keys_maps_empty_to_inf(self):
+        r = recs([3, 1])
+        r[1, 0] = NULL_KEY
+        keys = order_keys(r)
+        assert keys[0] == 3
+        assert keys[1] == np.iinfo(np.int64).max
+
+    def test_compare_exchange_swaps(self):
+        r = recs([5, 1])
+        compare_exchange(r, np.array([0]), np.array([1]))
+        assert list(r[:, 0]) == [1, 5]
+
+    def test_compare_exchange_keeps_order(self):
+        r = recs([1, 5])
+        compare_exchange(r, np.array([0]), np.array([1]))
+        assert list(r[:, 0]) == [1, 5]
+
+    def test_compare_exchange_vectorized_round(self):
+        r = recs([4, 3, 2, 1])
+        compare_exchange(r, np.array([0, 2]), np.array([1, 3]))
+        assert list(r[:, 0]) == [3, 4, 1, 2]
+
+    def test_empty_cells_sink(self):
+        r = recs([7, 3])
+        r[0, 0] = NULL_KEY
+        compare_exchange(r, np.array([0]), np.array([1]))
+        assert r[0, 0] == 3
+        assert r[1, 0] == NULL_KEY
+
+    def test_sort_records_stable(self):
+        r = np.array([[2, 0], [1, 1], [2, 2], [1, 3]], dtype=np.int64)
+        out = sort_records(r)
+        assert list(out[:, 0]) == [1, 1, 2, 2]
+        assert list(out[:, 1]) == [1, 3, 0, 2]
+
+    def test_records_sorted_checker(self):
+        assert records_sorted(recs([1, 2, 3]))
+        assert not records_sorted(recs([2, 1]))
+        r = recs([1, 2])
+        r[0, 0] = NULL_KEY  # empty before real record = not sorted
+        assert not records_sorted(r)
+
+
+def _zero_one_inputs(n):
+    return itertools.product([0, 1], repeat=n)
+
+
+class TestZeroOnePrinciple:
+    """A comparator network sorts all inputs iff it sorts all 0-1 inputs."""
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_bitonic_sorts_all_01(self, n):
+        for bits in _zero_one_inputs(n):
+            r = recs(bits)
+            for lo, hi in bitonic_pairs(n):
+                compare_exchange(r, lo, hi)
+            assert records_sorted(r), bits
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_batcher_sorts_all_01(self, n):
+        for bits in _zero_one_inputs(n):
+            r = recs(bits)
+            for lo, hi in batcher_pairs(n):
+                compare_exchange(r, lo, hi)
+            assert records_sorted(r), bits
+
+
+class TestNetworkRounds:
+    @pytest.mark.parametrize("gen", [bitonic_pairs, batcher_pairs])
+    def test_rounds_are_disjoint(self, gen):
+        for lo, hi in gen(32):
+            touched = np.concatenate([lo, hi])
+            assert len(np.unique(touched)) == len(touched)
+
+    @pytest.mark.parametrize("gen", [bitonic_pairs, batcher_pairs])
+    def test_lo_below_hi(self, gen):
+        for lo, hi in gen(64):
+            assert (lo < hi).all()
+
+    @pytest.mark.parametrize("gen", [bitonic_pairs, batcher_pairs])
+    def test_rejects_non_pow2(self, gen):
+        with pytest.raises(ValueError):
+            list(gen(12))
+
+    def test_comparator_count_scales_log_squared(self):
+        def count(n):
+            return sum(len(lo) for lo, hi in batcher_pairs(n))
+
+        # O(n log^2 n): ratio between n=256 and n=64 should be about
+        # 4 * (64/36) ≈ 7.1, far below quadratic growth (16x).
+        assert count(256) / count(64) < 9
+
+
+class TestSortersOnRandomInputs:
+    @settings(deadline=None, max_examples=30)
+    @given(st.lists(st.integers(0, 2**40), min_size=0, max_size=70))
+    def test_bitonic_matches_numpy(self, keys):
+        out = bitonic_sort(recs(keys))
+        assert np.array_equal(out[:, 0], np.sort(np.asarray(keys, dtype=np.int64)))
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.lists(st.integers(0, 2**40), min_size=0, max_size=70))
+    def test_batcher_matches_numpy(self, keys):
+        out = batcher_sort(recs(keys))
+        assert np.array_equal(out[:, 0], np.sort(np.asarray(keys, dtype=np.int64)))
+
+    def test_duplicates_and_empties(self):
+        r = recs([5, 5, 5, 2])
+        r[1, 0] = NULL_KEY
+        out = bitonic_sort(r)
+        assert list(out[:3, 0]) == [2, 5, 5]
+        assert out[3, 0] == NULL_KEY
+
+
+class TestRandomizedShellsort:
+    @pytest.mark.parametrize("n", [1, 2, 10, 64, 200])
+    def test_sorts_random_inputs(self, n):
+        rng = np.random.default_rng(5)
+        keys = rng.integers(0, 10**6, size=n)
+        out = randomized_shellsort(recs(keys), np.random.default_rng(77))
+        assert np.array_equal(out[:, 0], np.sort(keys))
+
+    def test_sorts_adversarial_inputs(self):
+        for keys in [np.zeros(128), np.arange(128)[::-1], np.arange(128)]:
+            out = randomized_shellsort(
+                recs(keys.astype(np.int64)), np.random.default_rng(3)
+            )
+            assert records_sorted(out)
+
+    def test_seed_determinism(self):
+        keys = np.random.default_rng(0).integers(0, 1000, size=100)
+        a = randomized_shellsort(recs(keys), np.random.default_rng(42))
+        b = randomized_shellsort(recs(keys), np.random.default_rng(42))
+        assert np.array_equal(a, b)
+
+    def test_success_rate_over_seeds(self):
+        """Goodrich 2010 proves w.v.h.p. sorting; empirically the failure
+        rate at n=256, c=4 should be essentially zero."""
+        keys = np.random.default_rng(1).integers(0, 10**6, size=256)
+        fails = sum(
+            not records_sorted(randomized_shellsort(recs(keys), np.random.default_rng(s)))
+            for s in range(25)
+        )
+        assert fails == 0

@@ -1,0 +1,117 @@
+"""Tests for the obliviousness verifier machinery itself."""
+
+import numpy as np
+import pytest
+
+from repro.em import EMMachine
+from repro.oblivious import (
+    ObliviousnessViolation,
+    adversarial_inputs,
+    check_oblivious,
+    run_traced,
+    trace_length_distribution_test,
+)
+
+
+def oblivious_runner(machine, records, rng):
+    """Scans every block once — trivially oblivious."""
+    arr = machine.alloc_cells(len(records))
+    arr.load_flat(records)
+    total = 0
+    for j in range(arr.num_blocks):
+        total += int(machine.read(arr, j)[:, 0].sum())
+    return total
+
+
+def leaky_runner(machine, records, rng):
+    """Reads a block chosen by the DATA — a deliberate leak."""
+    arr = machine.alloc_cells(len(records))
+    arr.load_flat(records)
+    hot = int(records[0, 0]) % arr.num_blocks
+    machine.read(arr, hot)
+    return hot
+
+
+class TestRunTraced:
+    def test_returns_result_and_view(self):
+        recs = adversarial_inputs(16)["sorted"]
+        result, view = run_traced(oblivious_runner, recs, M=64, B=4, seed=0)
+        assert result == int(recs[:, 0].sum())
+        assert view.num_reads == 4
+
+
+class TestCheckOblivious:
+    def test_accepts_oblivious(self):
+        fam = adversarial_inputs(32)
+        report = check_oblivious(
+            oblivious_runner, list(fam.values()), M=64, B=4
+        )
+        assert report.oblivious
+
+    def test_rejects_leaky(self):
+        fam = adversarial_inputs(32)
+        with pytest.raises(ObliviousnessViolation):
+            check_oblivious(leaky_runner, list(fam.values()), M=64, B=4)
+
+    def test_no_raise_mode(self):
+        fam = adversarial_inputs(32)
+        report = check_oblivious(
+            leaky_runner, list(fam.values()), M=64, B=4, raise_on_leak=False
+        )
+        assert not report.oblivious
+        assert "LEAKY" in report.describe()
+
+    def test_requires_equal_sizes(self):
+        a = adversarial_inputs(8)["sorted"]
+        b = adversarial_inputs(16)["sorted"]
+        with pytest.raises(ValueError):
+            check_oblivious(oblivious_runner, [a, b], M=64, B=4)
+
+
+class TestAdversarialInputs:
+    def test_family_members(self):
+        fam = adversarial_inputs(10)
+        assert set(fam) == {"all_equal", "sorted", "reversed", "random"}
+        for v in fam.values():
+            assert v.shape == (10, 2)
+
+    def test_all_equal_really_equal(self):
+        fam = adversarial_inputs(10)
+        assert len(np.unique(fam["all_equal"][:, 0])) == 1
+
+    def test_values_distinct(self):
+        fam = adversarial_inputs(10)
+        for v in fam.values():
+            assert len(np.unique(v[:, 1])) == 10
+
+
+class TestDistributionTest:
+    def test_identical_distributions_pass(self):
+        fam = adversarial_inputs(32)
+        res = trace_length_distribution_test(
+            oblivious_runner,
+            fam["sorted"],
+            fam["reversed"],
+            M=64,
+            B=4,
+            seeds=range(10),
+        )
+        assert res.pvalue == 1.0
+        assert res.consistent()
+
+    def test_length_leak_detected(self):
+        def variable_length_runner(machine, records, rng):
+            arr = machine.alloc_cells(len(records))
+            arr.load_flat(records)
+            # Number of reads depends on the first key: a length leak.
+            for j in range(1 + int(records[0, 0]) % 3):
+                machine.read(arr, 0)
+
+        idx = np.arange(32, dtype=np.int64)
+        a = np.column_stack([np.zeros(32, dtype=np.int64), idx])  # 1 read
+        b = np.column_stack([np.full(32, 2, dtype=np.int64), idx])  # 3 reads
+        res = trace_length_distribution_test(
+            variable_length_runner, a, b, M=64, B=4, seeds=range(12)
+        )
+        assert res.lengths_a != res.lengths_b
+        assert not res.consistent()

@@ -1,0 +1,232 @@
+"""Tests for the square-root ORAM and the oblivious block sort."""
+
+import numpy as np
+import pytest
+
+from repro.core.block_sort import oblivious_block_sort
+from repro.em import EMMachine, make_block
+from repro.em.block import is_empty
+from repro.oram import SquareRootORAM
+from repro.oram.simulation import measure_oram_overhead
+from repro.util.rng import make_rng
+
+
+class TestObliviousBlockSort:
+    def test_sorts_by_first_key(self):
+        mach = EMMachine(M=64, B=4)
+        arr = mach.alloc(8)
+        keys = [5, 3, 8, 1, 9, 2, 7, 4]
+        for j, k in enumerate(keys):
+            arr.raw[j] = make_block([k], B=4)
+        oblivious_block_sort(mach, [arr])
+        assert [int(arr.raw[j][0, 0]) for j in range(8)] == sorted(keys)
+
+    def test_parallel_arrays_stay_aligned(self):
+        mach = EMMachine(M=64, B=4)
+        meta = mach.alloc(6)
+        data = mach.alloc(6)
+        keys = [30, 10, 20, 60, 50, 40]
+        for j, k in enumerate(keys):
+            meta.raw[j] = make_block([k], B=4)
+            data.raw[j] = make_block([k * 100], B=4)
+        oblivious_block_sort(mach, [meta, data])
+        for j in range(6):
+            assert int(data.raw[j][0, 0]) == int(meta.raw[j][0, 0]) * 100
+
+    def test_non_power_of_two(self):
+        mach = EMMachine(M=64, B=4)
+        arr = mach.alloc(5)
+        for j, k in enumerate([9, 1, 5, 3, 7]):
+            arr.raw[j] = make_block([k], B=4)
+        oblivious_block_sort(mach, [arr])
+        assert [int(arr.raw[j][0, 0]) for j in range(5)] == [1, 3, 5, 7, 9]
+
+    def test_oblivious_trace(self):
+        def run(keys):
+            mach = EMMachine(M=64, B=4)
+            arr = mach.alloc(len(keys))
+            for j, k in enumerate(keys):
+                arr.raw[j] = make_block([k], B=4)
+            oblivious_block_sort(mach, [arr])
+            return mach.trace.fingerprint()
+
+        assert run([4, 3, 2, 1]) == run([1, 1, 1, 1])
+
+    def test_custom_key_fn(self):
+        mach = EMMachine(M=64, B=4)
+        arr = mach.alloc(3)
+        for j, k in enumerate([1, 2, 3]):
+            arr.raw[j] = make_block([k], values=[-k], B=4)
+        oblivious_block_sort(mach, [arr], key_fn=lambda blk: int(blk[0, 1]))
+        assert [int(arr.raw[j][0, 0]) for j in range(3)] == [3, 2, 1]
+
+    def test_validation(self):
+        mach = EMMachine(M=64, B=4)
+        with pytest.raises(ValueError):
+            oblivious_block_sort(mach, [])
+        a, b = mach.alloc(4), mach.alloc(2)
+        with pytest.raises(ValueError):
+            oblivious_block_sort(mach, [a, b])
+
+
+def fresh_oram(n, M=2048, B=4, seed=1):
+    mach = EMMachine(M=M, B=B)
+    oram = SquareRootORAM(mach, n, make_rng(seed))
+    return mach, oram
+
+
+class TestSquareRootORAMBasics:
+    def test_fresh_cells_empty(self):
+        _, oram = fresh_oram(4)
+        assert is_empty(oram.read(2)).all()
+
+    def test_write_then_read(self):
+        _, oram = fresh_oram(4)
+        blk = make_block([42], B=4)
+        oram.write(1, blk)
+        assert np.array_equal(oram.read(1), blk)
+
+    def test_write_returns_old_value(self):
+        _, oram = fresh_oram(4)
+        b1 = make_block([1], B=4)
+        b2 = make_block([2], B=4)
+        oram.write(0, b1)
+        old = oram.write(0, b2)
+        assert np.array_equal(old, b1)
+        assert np.array_equal(oram.read(0), b2)
+
+    def test_out_of_range(self):
+        _, oram = fresh_oram(4)
+        with pytest.raises(IndexError):
+            oram.read(4)
+
+    def test_survives_many_epochs(self):
+        """Values persist across multiple rebuilds."""
+        _, oram = fresh_oram(6, seed=3)
+        for i in range(6):
+            oram.write(i, make_block([100 + i], B=4))
+        for _ in range(4):  # several epochs of churn
+            for i in range(6):
+                assert int(oram.read(i)[0, 0]) == 100 + i
+        assert oram.rebuilds >= 2
+
+    def test_repeated_access_same_cell(self):
+        """Repeatedly hitting one cell must keep working (dummy probes)."""
+        _, oram = fresh_oram(9, seed=5)
+        oram.write(3, make_block([7], B=4))
+        for _ in range(20):
+            assert int(oram.read(3)[0, 0]) == 7
+
+    def test_dummy_ops_do_not_corrupt(self):
+        _, oram = fresh_oram(4, seed=2)
+        oram.write(2, make_block([5], B=4))
+        for _ in range(10):
+            oram.dummy_op()
+        assert int(oram.read(2)[0, 0]) == 5
+
+    def test_initial_contents(self):
+        mach = EMMachine(M=2048, B=4)
+        init = mach.alloc(4)
+        for j in range(4):
+            init.raw[j] = make_block([j * 11], B=4)
+        oram = SquareRootORAM(mach, 4, make_rng(0), initial=init)
+        for j in range(4):
+            assert int(oram.read(j)[0, 0]) == j * 11
+
+    def test_extract_to(self):
+        mach = EMMachine(M=2048, B=4)
+        oram = SquareRootORAM(mach, 5, make_rng(1))
+        for i in range(5):
+            oram.write(i, make_block([i + 50], B=4))
+        out = mach.alloc(5)
+        oram.extract_to(out)
+        assert [int(out.raw[j][0, 0]) for j in range(5)] == [50, 51, 52, 53, 54]
+
+
+def _trace_shape(machine):
+    """The data-independent skeleton of a trace: ops and arrays, no indices."""
+    return [(int(e.op), e.array_id) for e in machine.trace]
+
+
+def _store_probe_positions(machine, oram):
+    """Indices of reads into the store payload array (the random probes)."""
+    aid = oram.store_payload.array_id
+    return [e.index for e in machine.trace if e.array_id == aid and int(e.op) == 0]
+
+
+class TestORAMObliviousness:
+    """Square-root ORAM is oblivious *in distribution* (the paper's §1
+    definition): the trace's shape is a fixed function of (n, length) and
+    the store-probe positions are fresh uniform randomness, independent of
+    the logical access sequence."""
+
+    def _run(self, sequence, seed):
+        mach = EMMachine(M=2048, B=4)
+        oram = SquareRootORAM(mach, 8, make_rng(seed))
+        for i in sequence:
+            oram.read(i)
+        return mach, oram
+
+    def test_trace_shape_independent_of_access_pattern(self):
+        ma, oa = self._run([0, 1, 2, 3, 4, 5, 6, 7], seed=77)
+        mb, ob = self._run([3, 3, 3, 3, 3, 3, 3, 3], seed=77)
+        assert _trace_shape(ma) == _trace_shape(mb)
+        assert len(ma.trace) == len(mb.trace)
+
+    def test_probe_positions_distribution_matches(self):
+        """Across seeds, probe-position distributions for two adversarial
+        sequences must be statistically indistinguishable."""
+        from scipy import stats
+
+        pos_a, pos_b = [], []
+        for seed in range(40):
+            ma, oa = self._run(list(range(8)), seed)
+            mb, ob = self._run([3] * 8, seed)
+            pos_a.extend(_store_probe_positions(ma, oa))
+            pos_b.extend(_store_probe_positions(mb, ob))
+        ks = stats.ks_2samp(pos_a, pos_b)
+        assert ks.pvalue > 0.01
+
+    def test_reads_and_writes_indistinguishable(self):
+        """For the SAME logical sequence, read vs write traces are
+        byte-identical under a fixed seed (values never affect probes)."""
+
+        def run(do_write):
+            mach = EMMachine(M=2048, B=4)
+            oram = SquareRootORAM(mach, 8, make_rng(11))
+            for i in range(8):
+                if do_write:
+                    oram.write(i, make_block([i], B=4))
+                else:
+                    oram.read(i)
+            return mach.trace.fingerprint()
+
+        assert run(True) == run(False)
+
+    def test_dummy_shape_matches_real(self):
+        def run(use_dummy):
+            mach = EMMachine(M=2048, B=4)
+            oram = SquareRootORAM(mach, 8, make_rng(13))
+            for _ in range(6):
+                if use_dummy:
+                    oram.dummy_op()
+                else:
+                    oram.read(5)
+            return _trace_shape(mach)
+
+        assert run(True) == run(False)
+
+
+class TestORAMOverheadMeasurement:
+    def test_overhead_reported(self):
+        stats = measure_oram_overhead(n=16, num_accesses=40, M=2048, B=4, seed=0)
+        assert stats.accesses == 40
+        assert stats.total_ios > 0
+        assert stats.amortized_ios_per_access > 1.0
+        assert stats.rebuilds >= 1
+        assert 0.0 < stats.rebuild_fraction < 1.0
+
+    def test_overhead_grows_with_n(self):
+        small = measure_oram_overhead(n=9, num_accesses=30, seed=1, M=2048)
+        large = measure_oram_overhead(n=64, num_accesses=30, seed=1, M=2048)
+        assert large.amortized_ios_per_access > small.amortized_ios_per_access

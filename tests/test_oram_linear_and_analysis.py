@@ -1,0 +1,153 @@
+"""Tests for the linear-scan ORAM baseline and the complexity-fit module."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import fit_complexity, io_models
+from repro.em import EMMachine, make_block
+from repro.em.block import is_empty
+from repro.oram import LinearScanORAM
+from repro.util.mathx import log_base
+
+
+class TestLinearScanORAM:
+    def make(self, n=8):
+        mach = EMMachine(M=64, B=4)
+        return mach, LinearScanORAM(mach, n)
+
+    def test_fresh_cells_empty(self):
+        _, oram = self.make()
+        assert is_empty(oram.read(3)).all()
+
+    def test_write_read_roundtrip(self):
+        _, oram = self.make()
+        blk = make_block([9], B=4)
+        oram.write(2, blk)
+        assert np.array_equal(oram.read(2), blk)
+
+    def test_write_returns_old(self):
+        _, oram = self.make()
+        a, b = make_block([1], B=4), make_block([2], B=4)
+        oram.write(0, a)
+        assert np.array_equal(oram.write(0, b), a)
+
+    def test_exact_io_cost(self):
+        mach, oram = self.make(n=10)
+        with mach.meter() as meter:
+            oram.read(4)
+        assert meter.reads == 10 and meter.writes == 10
+
+    def test_fully_oblivious_trace(self):
+        def run(sequence):
+            mach = EMMachine(M=64, B=4)
+            oram = LinearScanORAM(mach, 8)
+            for i in sequence:
+                oram.read(i)
+            return mach.trace.fingerprint()
+
+        assert run([0, 1, 2, 3]) == run([3, 3, 3, 3])
+
+    def test_dummy_matches_real(self):
+        def run(dummy):
+            mach = EMMachine(M=64, B=4)
+            oram = LinearScanORAM(mach, 8)
+            for _ in range(3):
+                oram.dummy_op() if dummy else oram.read(5)
+            return mach.trace.fingerprint()
+
+        assert run(True) == run(False)
+
+    def test_initial_and_extract(self):
+        mach = EMMachine(M=64, B=4)
+        init = mach.alloc(4)
+        for j in range(4):
+            init.raw[j] = make_block([j * 3], B=4)
+        oram = LinearScanORAM(mach, 4, initial=init)
+        out = mach.alloc(4)
+        oram.extract_to(out)
+        assert [int(out.raw[j][0, 0]) for j in range(4)] == [0, 3, 6, 9]
+
+    def test_bounds(self):
+        _, oram = self.make(4)
+        with pytest.raises(IndexError):
+            oram.read(4)
+        with pytest.raises(ValueError):
+            LinearScanORAM(EMMachine(M=64, B=4), 0)
+
+    def test_crossover_trend_vs_sqrt_oram(self):
+        """E9's first rung: linear scanning costs exactly 2n per access,
+        the square-root construction o(n) amortized.  At small n the
+        sqrt machinery's constants dominate; the linear/sqrt cost ratio
+        must climb monotonically toward the crossover as n grows."""
+        from repro.oram import SquareRootORAM
+        from repro.util.rng import make_rng
+
+        def per_access(kind, n, accesses=40):
+            mach = EMMachine(M=4096, B=4, trace=False)
+            if kind == "linear":
+                oram = LinearScanORAM(mach, n)
+            else:
+                oram = SquareRootORAM(mach, n, make_rng(0))
+            base = mach.total_ios
+            rng = np.random.default_rng(1)
+            for i in rng.integers(0, n, size=accesses):
+                oram.read(int(i))
+            return (mach.total_ios - base) / accesses
+
+        ratios = [
+            per_access("linear", n) / per_access("sqrt", n) for n in (64, 256, 1024)
+        ]
+        assert ratios[0] < ratios[1] < ratios[2]
+
+
+class TestComplexityFit:
+    def synth(self, model_name, c, ns, m=64):
+        fn = io_models(m)[model_name]
+        return [fn(n, c) for n in ns]
+
+    @pytest.mark.parametrize("truth", ["linear", "n_log", "quadratic"])
+    def test_recovers_generating_model(self, truth):
+        ns = [64, 128, 256, 512, 1024, 4096]
+        ios = self.synth(truth, 7.0, ns)
+        fits = fit_complexity(ns, ios, m=64)
+        assert fits[0].model == truth
+        assert fits[0].constant == pytest.approx(7.0, rel=1e-6)
+        assert fits[0].relative_rmse < 1e-9
+
+    def test_noisy_series_still_ranked(self):
+        rng = np.random.default_rng(0)
+        ns = [64, 256, 1024, 4096]
+        ios = [v * rng.uniform(0.95, 1.05) for v in self.synth("linear", 3.0, ns)]
+        fits = fit_complexity(ns, ios, m=64)
+        assert fits[0].model in ("linear", "n_logstar")  # near-identical shapes
+
+    def test_model_subset(self):
+        ns = [64, 256, 1024]
+        ios = self.synth("n_logm", 2.0, ns)
+        fits = fit_complexity(ns, ios, m=64, models=["linear", "n_logm"])
+        assert {f.model for f in fits} == {"linear", "n_logm"}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fit_complexity([64, 128], [1, 2], m=64)  # too few points
+        with pytest.raises(ValueError):
+            fit_complexity([64, 65, 66], [1, 2, 3], m=64)  # tiny range
+        with pytest.raises(ValueError):
+            fit_complexity([64, 256, 1024], [1, -2, 3], m=64)
+        with pytest.raises(ValueError):
+            fit_complexity([64, 256, 1024], [1, 2, 3], m=64, models=["nope"])
+
+    def test_real_measurement_consolidation_is_linear(self):
+        """End-to-end: consolidation's measured curve fits `linear` best."""
+        from repro.core.consolidation import consolidate
+
+        ns, ios = [], []
+        for n in (64, 128, 256, 512):
+            mach = EMMachine(M=64, B=4, trace=False)
+            arr = mach.alloc(n)
+            with mach.meter() as meter:
+                consolidate(mach, arr)
+            ns.append(n)
+            ios.append(meter.total)
+        fits = fit_complexity(ns, ios, m=16)
+        assert fits[0].model in ("linear", "n_logstar")

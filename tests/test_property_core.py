@@ -1,0 +1,133 @@
+"""Cross-cutting property-based tests (hypothesis) on the core algorithms.
+
+These complement the per-module tests with randomized structural
+invariants: multiset preservation, order preservation, agreement with
+NumPy oracles, and machine-parameter robustness.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compaction import loose_compact, tight_compact
+from repro.core.consolidation import consolidate
+from repro.core.external_sort import oblivious_external_sort
+from repro.core.sorting import oblivious_sort
+from repro.em import EMMachine, make_block, make_records
+from repro.em.block import is_empty
+from repro.util.rng import make_rng
+
+machines = st.sampled_from([(4, 64), (4, 128), (8, 128), (2, 32), (16, 256)])
+
+
+class TestTightCompactProperties:
+    @settings(deadline=None, max_examples=30)
+    @given(
+        st.lists(st.booleans(), min_size=1, max_size=48),
+        st.sampled_from([16, 64]),
+    )
+    def test_order_preserving_tight(self, occupancy, m_blocks):
+        mach = EMMachine(M=m_blocks * 4, B=4, trace=False)
+        arr = mach.alloc(len(occupancy))
+        expect = []
+        for j, occ in enumerate(occupancy):
+            if occ:
+                arr.raw[j] = make_block([j + 1], B=4)
+                expect.append(j + 1)
+        out = tight_compact(mach, arr)
+        got = []
+        tight_prefix = True
+        seen_empty = False
+        for j in range(out.num_blocks):
+            blk = out.raw[j]
+            if is_empty(blk).all():
+                seen_empty = True
+            else:
+                if seen_empty:
+                    tight_prefix = False
+                got.append(int(blk[0, 0]))
+        assert got == expect
+        assert tight_prefix
+
+
+class TestLooseCompactProperties:
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(0, 10**6), st.integers(1, 12))
+    def test_multiset_preserved(self, seed, r_scale):
+        n = 16 * r_scale * 4  # keep r <= n/4 with room
+        r = 4 * r_scale
+        mach = EMMachine(M=512, B=4, trace=False)
+        arr = mach.alloc(n)
+        rng = np.random.default_rng(seed)
+        occupied = sorted(rng.choice(n, size=r, replace=False).tolist())
+        for j in occupied:
+            arr.raw[j] = make_block([j], B=4)
+        out = loose_compact(mach, arr, r, make_rng(seed))
+        got = sorted(
+            int(out.raw[j][0, 0])
+            for j in range(out.num_blocks)
+            if not is_empty(out.raw[j]).all()
+        )
+        assert got == occupied
+
+
+class TestSortAcrossMachines:
+    @settings(deadline=None, max_examples=12)
+    @given(
+        st.lists(st.integers(0, 2**32), min_size=1, max_size=120),
+        machines,
+    )
+    def test_external_sort_any_machine(self, keys, bm):
+        B, M = bm
+        mach = EMMachine(M=M, B=B, trace=False)
+        arr = mach.alloc_cells(len(keys))
+        arr.load_flat(make_records(keys))
+        out = oblivious_external_sort(mach, arr)
+        assert np.array_equal(
+            out.nonempty()[:, 0], np.sort(np.asarray(keys, dtype=np.int64))
+        )
+
+    @settings(deadline=None, max_examples=6)
+    @given(
+        st.lists(st.integers(0, 2**30), min_size=1, max_size=80),
+        st.sampled_from([(4, 64), (8, 128)]),
+    )
+    def test_theorem21_any_machine(self, keys, bm):
+        B, M = bm
+        mach = EMMachine(M=M, B=B, trace=False)
+        arr = mach.alloc_cells(len(keys))
+        arr.load_flat(make_records(keys))
+        out = oblivious_sort(mach, arr, len(keys), make_rng(0))
+        assert np.array_equal(
+            out.nonempty()[:, 0], np.sort(np.asarray(keys, dtype=np.int64))
+        )
+
+    @settings(deadline=None, max_examples=10)
+    @given(st.lists(st.integers(0, 100), min_size=2, max_size=60))
+    def test_sort_is_permutation(self, keys):
+        """Values prove the output is a permutation, not a re-creation."""
+        mach = EMMachine(M=64, B=4, trace=False)
+        arr = mach.alloc_cells(len(keys))
+        values = np.arange(len(keys), dtype=np.int64)
+        arr.load_flat(make_records(keys, values=values))
+        out = oblivious_sort(mach, arr, len(keys), make_rng(1))
+        real = out.nonempty()
+        assert sorted(real[:, 1].tolist()) == values.tolist()
+        # Each value still paired with its original key.
+        original = {int(v): int(k) for k, v in zip(keys, values)}
+        for k, v in real:
+            assert original[int(v)] == int(k)
+
+
+class TestConsolidationIdempotence:
+    @settings(deadline=None, max_examples=20)
+    @given(st.lists(st.integers(0, 2**40), min_size=0, max_size=60))
+    def test_consolidate_twice_same_records(self, keys):
+        mach = EMMachine(M=64, B=4, trace=False)
+        arr = mach.alloc_cells(max(1, len(keys)))
+        arr.load_flat(make_records(keys))
+        once = consolidate(mach, arr)
+        twice = consolidate(mach, once.array)
+        assert np.array_equal(once.array.nonempty(), twice.array.nonempty())
+        assert once.num_distinguished == twice.num_distinguished

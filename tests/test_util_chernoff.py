@@ -1,0 +1,92 @@
+"""Tests for the Chernoff toolkit (paper Appendix A) — experiment E11's core."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.util.chernoff import (
+    binomial_tail_mc,
+    compare_lemma22,
+    compare_lemma23,
+    lemma22_bound,
+    lemma23_bound,
+    negative_binomial_tail_mc,
+)
+
+
+class TestLemma22Bound:
+    def test_requires_gamma_above_2e(self):
+        with pytest.raises(ValueError):
+            lemma22_bound(2.0, 10.0)
+
+    def test_requires_positive_mu(self):
+        with pytest.raises(ValueError):
+            lemma22_bound(8.0, 0.0)
+
+    def test_monotone_in_gamma(self):
+        b1 = lemma22_bound(6.0, 5.0)
+        b2 = lemma22_bound(12.0, 5.0)
+        assert b2 < b1
+
+    def test_matches_formula(self):
+        gamma, mu = 8.0, 3.0
+        expected = 2 ** (-gamma * mu * math.log2(gamma / math.e))
+        assert lemma22_bound(gamma, mu) == pytest.approx(expected)
+
+
+class TestLemma23Bound:
+    def test_regime_selection_tightens(self):
+        # Larger t (relative to alpha) must not weaken the bound.
+        p = 0.5
+        n = 50
+        bounds = [lemma23_bound(t, p, n) for t in [0.5, 1.0, 2.0, 4.0, 6.0, 7.0]]
+        assert all(b2 <= b1 * 1.0001 for b1, b2 in zip(bounds, bounds[1:]))
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            lemma23_bound(-1.0, 0.5, 10)
+        with pytest.raises(ValueError):
+            lemma23_bound(1.0, 0.0, 10)
+        with pytest.raises(ValueError):
+            lemma23_bound(1.0, 0.5, 0)
+
+    def test_small_t_regime_formula(self):
+        t, p, n = 0.4, 0.5, 100  # t < alpha/2 = 1
+        assert lemma23_bound(t, p, n) == pytest.approx(math.exp(-((t * p) ** 2) * n / 3))
+
+    def test_huge_t_regime_formula(self):
+        t, p, n = 10.0, 0.5, 100  # t >= 3 alpha = 6
+        assert lemma23_bound(t, p, n) == pytest.approx(math.exp(-t * p * n / 2))
+
+
+class TestMonteCarloEstimators:
+    def test_binomial_tail_sane(self):
+        rng = np.random.default_rng(0)
+        # Pr(Bin(100, .5) > 50) ~ 0.46
+        est = binomial_tail_mc(100, 0.5, 50, 20_000, rng)
+        assert 0.40 < est < 0.52
+
+    def test_negative_binomial_tail_mean_location(self):
+        rng = np.random.default_rng(0)
+        # Sum of 100 geometric(1/2) has mean 200.
+        below = negative_binomial_tail_mc(100, 0.5, 150, 20_000, rng)
+        above = negative_binomial_tail_mc(100, 0.5, 260, 20_000, rng)
+        assert below > 0.9
+        assert above < 0.05
+
+
+class TestBoundsDominateSimulation:
+    """The reproduction claim of E11: proved bounds dominate empirical tails."""
+
+    @pytest.mark.parametrize("gamma", [6.0, 8.0, 16.0])
+    def test_lemma22_holds(self, gamma):
+        rng = np.random.default_rng(123)
+        cmp = compare_lemma22(400, 0.02, gamma, 50_000, rng)
+        assert cmp.holds
+
+    @pytest.mark.parametrize("t", [0.8, 2.0, 4.5, 7.0])
+    def test_lemma23_holds(self, t):
+        rng = np.random.default_rng(321)
+        cmp = compare_lemma23(60, 0.5, t, 50_000, rng)
+        assert cmp.holds

@@ -1,0 +1,119 @@
+"""Unit and property tests for repro.util.mathx."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.mathx import (
+    ceil_div,
+    ilog2,
+    is_pow2,
+    log_base,
+    log_star,
+    next_pow2,
+    tower_of_twos,
+)
+
+
+class TestCeilDiv:
+    def test_exact(self):
+        assert ceil_div(12, 4) == 3
+
+    def test_rounds_up(self):
+        assert ceil_div(13, 4) == 4
+
+    def test_zero_dividend(self):
+        assert ceil_div(0, 7) == 0
+
+    def test_one_divisor(self):
+        assert ceil_div(5, 1) == 5
+
+    def test_rejects_zero_divisor(self):
+        with pytest.raises(ValueError):
+            ceil_div(1, 0)
+
+    def test_rejects_negative_dividend(self):
+        with pytest.raises(ValueError):
+            ceil_div(-1, 2)
+
+    @given(st.integers(0, 10**9), st.integers(1, 10**6))
+    def test_matches_float_ceil(self, a, b):
+        assert ceil_div(a, b) == math.ceil(a / b) or a // b * b + (a % b > 0) * b >= a
+
+    @given(st.integers(0, 10**9), st.integers(1, 10**6))
+    def test_is_smallest_multiple_cover(self, a, b):
+        q = ceil_div(a, b)
+        assert q * b >= a
+        assert (q - 1) * b < a or q == 0
+
+
+class TestPow2Helpers:
+    def test_is_pow2_positives(self):
+        assert all(is_pow2(1 << i) for i in range(20))
+
+    def test_is_pow2_negatives(self):
+        assert not any(is_pow2(x) for x in [0, -1, 3, 6, 12, 100])
+
+    def test_next_pow2_small(self):
+        assert [next_pow2(x) for x in [0, 1, 2, 3, 4, 5]] == [1, 1, 2, 4, 4, 8]
+
+    @given(st.integers(1, 2**40))
+    def test_next_pow2_properties(self, n):
+        p = next_pow2(n)
+        assert is_pow2(p)
+        assert p >= n
+        assert p // 2 < n
+
+    def test_ilog2_exact(self):
+        assert ilog2(1) == 0
+        assert ilog2(2) == 1
+        assert ilog2(1024) == 10
+
+    def test_ilog2_floor(self):
+        assert ilog2(1023) == 9
+
+    def test_ilog2_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ilog2(0)
+
+
+class TestLogHelpers:
+    def test_log_base_basic(self):
+        assert log_base(8, 2) == pytest.approx(3.0)
+
+    def test_log_base_clamped(self):
+        assert log_base(1, 2) == 1.0
+        assert log_base(2, 16) == 1.0  # clamp below 1
+
+    def test_log_base_rejects_bad_base(self):
+        with pytest.raises(ValueError):
+            log_base(8, 1)
+
+    def test_log_star_values(self):
+        # log*(2) = 1, log*(4) = 2, log*(16) = 3, log*(65536) = 4
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+        assert log_star(2**20) == 5
+
+    def test_log_star_tiny(self):
+        assert log_star(1) == 0
+        assert log_star(0.5) == 0
+
+
+class TestTowerOfTwos:
+    def test_sequence(self):
+        assert tower_of_twos(1) == 4
+        assert tower_of_twos(2) == 16
+        assert tower_of_twos(3) == 65536
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            tower_of_twos(0)
+
+    def test_overflows_loudly(self):
+        with pytest.raises(OverflowError):
+            tower_of_twos(5)

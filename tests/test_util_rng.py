@@ -1,0 +1,60 @@
+"""Tests for RNG plumbing — determinism is load-bearing for obliviousness."""
+
+import numpy as np
+
+from repro.util.rng import child_rng, make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42).integers(0, 2**31, size=16)
+        b = make_rng(42).integers(0, 2**31, size=16)
+        assert np.array_equal(a, b)
+
+    def test_different_seed_different_stream(self):
+        a = make_rng(1).integers(0, 2**31, size=16)
+        b = make_rng(2).integers(0, 2**31, size=16)
+        assert not np.array_equal(a, b)
+
+    def test_passthrough_generator(self):
+        g = np.random.default_rng(7)
+        assert make_rng(g) is g
+
+
+class TestChildRng:
+    def test_deterministic(self):
+        a = child_rng(make_rng(5), 3).integers(0, 2**31, size=8)
+        b = child_rng(make_rng(5), 3).integers(0, 2**31, size=8)
+        assert np.array_equal(a, b)
+
+    def test_tag_separates_streams(self):
+        parent = make_rng(5)
+        root = int(parent.integers(0, 2**63 - 1))
+        a = np.random.default_rng(np.random.SeedSequence(root, spawn_key=(0,)))
+        b = np.random.default_rng(np.random.SeedSequence(root, spawn_key=(1,)))
+        assert not np.array_equal(
+            a.integers(0, 2**31, size=8), b.integers(0, 2**31, size=8)
+        )
+
+    def test_parent_advances_fixed_amount(self):
+        """Deriving a child must consume exactly one draw from the parent,
+        regardless of how the child is used."""
+        p1 = make_rng(9)
+        child_rng(p1, 0)
+        after_light = p1.integers(0, 2**31)
+
+        p2 = make_rng(9)
+        heavy_child = child_rng(p2, 0)
+        heavy_child.integers(0, 2**31, size=1000)  # heavy child usage
+        after_heavy = p2.integers(0, 2**31)
+        assert after_light == after_heavy
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(make_rng(0), 5)) == 5
+
+    def test_children_distinct(self):
+        kids = spawn_rngs(make_rng(0), 4)
+        draws = [tuple(k.integers(0, 2**31, size=4)) for k in kids]
+        assert len(set(draws)) == 4
