@@ -1,12 +1,17 @@
-"""E7 — Theorem 17: q quantiles in O(N/B) I/Os for q <= (M/B)^(1/4)."""
+"""E7 — Theorem 17: q quantiles in O(N/B) I/Os for q <= (M/B)^(1/4).
+
+Runs through the ``repro.api`` session facade (which owns the Las Vegas
+retries); ``Result.cost`` supplies the I/O counts.
+"""
 
 import numpy as np
 import pytest
 
-from repro.core.quantiles import QuantileFailure, quantiles_em
-from repro.util.rng import make_rng
+from repro.api import EMConfig, ObliviousSession, RetryPolicy
 
-from _workloads import record_machine, series_table, experiment
+from _workloads import series_table, experiment
+
+_RETRY = RetryPolicy(max_attempts=8)
 
 
 def _quantile_ios(n, q, M=256, B=4):
@@ -15,16 +20,12 @@ def _quantile_ios(n, q, M=256, B=4):
         int(np.sort(keys)[max(1, min(n, round(i * n / (q + 1)))) - 1])
         for i in range(1, q + 1)
     ]
-    for attempt in range(8):
-        mach, arr = record_machine(keys, B=B, M=M)
-        try:
-            with mach.meter() as meter:
-                got = quantiles_em(mach, arr, n, q, make_rng(attempt))
-            assert got.tolist() == expected
-            return meter.total
-        except QuantileFailure:
-            continue
-    raise AssertionError("quantiles kept failing")
+    with ObliviousSession(
+        EMConfig(M=M, B=B, trace=False), seed=0, retry=_RETRY
+    ) as session:
+        result = session.quantiles(keys, q=q)
+    assert result.value.tolist() == expected
+    return result.cost.total
 
 
 @experiment
@@ -65,12 +66,10 @@ def bench_e7_wall_time(benchmark, n):
     keys = np.random.default_rng(2).permutation(np.arange(1, n + 1))
 
     def run():
-        for attempt in range(8):
-            mach, arr = record_machine(keys, M=256)
-            try:
-                return quantiles_em(mach, arr, n, 2, make_rng(attempt))
-            except QuantileFailure:
-                continue
+        with ObliviousSession(
+            EMConfig(M=256, B=4, trace=False), seed=0, retry=_RETRY
+        ) as session:
+            return session.quantiles(keys, q=2)
 
     benchmark.pedantic(run, rounds=1, iterations=1)
     benchmark.extra_info["n"] = n

@@ -3,40 +3,37 @@
 The series shows (a) flat per-block cost for the paper's selection and
 (b) a growing advantage over the oblivious-sort-then-index baseline —
 the crossover the Ω(n log log n) compare-exchange lower bound says a
-comparator circuit could never achieve.
+comparator circuit could never achieve.  Both run through the
+``repro.api`` session facade, which owns the Las Vegas retries the old
+harness hand-rolled.
 """
 
 import numpy as np
 import pytest
 
-from repro.baselines import sort_then_pick
-from repro.core.selection import SelectionFailure, select_em
-from repro.util.rng import make_rng
+from repro.api import EMConfig, ObliviousSession, RetryPolicy
 
-from _workloads import record_machine, series_table, experiment
+from _workloads import series_table, experiment
+
+_RETRY = RetryPolicy(max_attempts=8)
 
 
 def _selection_ios(n, M=256, B=4):
     keys = np.random.default_rng(n).permutation(np.arange(1, n + 1))
-    for attempt in range(8):
-        mach, arr = record_machine(keys, B=B, M=M)
-        try:
-            with mach.meter() as meter:
-                key, _ = select_em(mach, arr, n, n // 2, make_rng(attempt))
-            assert key == n // 2
-            return meter.total
-        except SelectionFailure:
-            continue
-    raise AssertionError("selection kept failing")
+    with ObliviousSession(
+        EMConfig(M=M, B=B, trace=False), seed=0, retry=_RETRY
+    ) as session:
+        result = session.select(keys, k=n // 2)
+    assert result.value[0] == n // 2
+    return result.cost.total
 
 
 def _baseline_ios(n, M=256, B=4):
     keys = np.random.default_rng(n).permutation(np.arange(1, n + 1))
-    mach, arr = record_machine(keys, B=B, M=M)
-    with mach.meter() as meter:
-        key, _ = sort_then_pick(mach, arr, n, n // 2)
-    assert key == n // 2
-    return meter.total
+    with ObliviousSession(EMConfig(M=M, B=B, trace=False), seed=0) as session:
+        result = session.run("sort_then_pick", keys, k=n // 2)
+    assert result.value[0] == n // 2
+    return result.cost.total
 
 
 @experiment
@@ -72,18 +69,14 @@ def bench_e6_rank_insensitivity(capsys):
     """Cost is independent of which rank is asked for."""
     n = 512
     rows = []
+    keys = np.random.default_rng(0).permutation(np.arange(1, n + 1))
     for frac, label in ((0.01, "min-ish"), (0.5, "median"), (0.99, "max-ish")):
         k = max(1, int(n * frac))
-        keys = np.random.default_rng(0).permutation(np.arange(1, n + 1))
-        for attempt in range(8):
-            mach, arr = record_machine(keys, M=256)
-            try:
-                with mach.meter() as meter:
-                    select_em(mach, arr, n, k, make_rng(attempt))
-                rows.append([label, k, meter.total])
-                break
-            except SelectionFailure:
-                continue
+        with ObliviousSession(
+            EMConfig(M=256, B=4, trace=False), seed=0, retry=_RETRY
+        ) as session:
+            result = session.select(keys, k=k)
+        rows.append([label, k, result.cost.total])
     with capsys.disabled():
         print()
         print(series_table(
@@ -99,12 +92,10 @@ def bench_e6_wall_time(benchmark, n):
     keys = np.random.default_rng(1).permutation(np.arange(1, n + 1))
 
     def run():
-        for attempt in range(8):
-            mach, arr = record_machine(keys, M=256)
-            try:
-                return select_em(mach, arr, n, n // 2, make_rng(attempt))
-            except SelectionFailure:
-                continue
+        with ObliviousSession(
+            EMConfig(M=256, B=4, trace=False), seed=0, retry=_RETRY
+        ) as session:
+            return session.select(keys, k=n // 2)
 
     benchmark.pedantic(run, rounds=1, iterations=1)
     benchmark.extra_info["n"] = n

@@ -4,38 +4,24 @@ The paper's headline: O((N/B) log_{M/B}(N/B)) I/Os, matching the
 non-oblivious optimum's growth rate and beating the log-squared
 oblivious strawman.  The series reports all three algorithms' I/Os so
 the shape comparison — who wins, and how the gaps move with N and M —
-is visible directly.
+is visible directly.  All three sorters run through the ``repro.api``
+session facade; ``Result.cost`` supplies the I/O counts.
 """
 
 import numpy as np
 import pytest
 
-from repro.baselines import bitonic_external_sort, external_merge_sort
-from repro.core.sorting import oblivious_sort
-from repro.util.rng import make_rng
+from repro.api import EMConfig, ObliviousSession
 
-from _workloads import record_machine, series_table, experiment
+from _workloads import series_table, experiment
 
 
-def _ios(fn, n, M, B=4, seed=0):
+def _ios(algorithm, n, M, B=4, seed=0):
     keys = np.random.default_rng(seed).permutation(np.arange(n))
-    mach, arr = record_machine(keys, B=B, M=M)
-    with mach.meter() as meter:
-        out = fn(mach, arr, n)
-    assert np.array_equal(out.nonempty()[:, 0], np.arange(n))
-    return meter.total
-
-
-def _theorem21(mach, arr, n):
-    return oblivious_sort(mach, arr, n, make_rng(11))
-
-
-def _merge(mach, arr, n):
-    return external_merge_sort(mach, arr)
-
-
-def _bitonic(mach, arr, n):
-    return bitonic_external_sort(mach, arr)
+    with ObliviousSession(EMConfig(M=M, B=B, trace=False), seed=11) as session:
+        result = session.run(algorithm, keys)
+    assert np.array_equal(result.keys, np.arange(n))
+    return result.cost.total
 
 
 @experiment
@@ -43,9 +29,9 @@ def bench_e8_three_way_series(capsys):
     rows = []
     M = 128
     for n in (256, 512, 1024, 2048):
-        t21 = _ios(_theorem21, n, M)
-        merge = _ios(_merge, n, M)
-        bitonic = _ios(_bitonic, n, M)
+        t21 = _ios("sort", n, M)
+        merge = _ios("merge_sort", n, M)
+        bitonic = _ios("bitonic_sort", n, M)
         rows.append(
             [n, merge, t21, bitonic, t21 / merge, bitonic / t21]
         )
@@ -77,8 +63,8 @@ def bench_e8_cache_sweep(capsys):
     rows = []
     n = 1024
     for M in (64, 128, 256, 512):
-        t21 = _ios(_theorem21, n, M)
-        bitonic = _ios(_bitonic, n, M)
+        t21 = _ios("sort", n, M)
+        bitonic = _ios("bitonic_sort", n, M)
         rows.append([M // 4, t21, bitonic, bitonic / t21])
     with capsys.disabled():
         print()
@@ -103,8 +89,8 @@ def bench_e8_wall_time(benchmark, n):
     keys = np.random.default_rng(3).permutation(np.arange(n))
 
     def run():
-        mach, arr = record_machine(keys, M=128)
-        return oblivious_sort(mach, arr, n, make_rng(4))
+        with ObliviousSession(EMConfig(M=128, B=4, trace=False), seed=4) as s:
+            return s.sort(keys)
 
     benchmark.pedantic(run, rounds=1, iterations=1)
     benchmark.extra_info["n"] = n

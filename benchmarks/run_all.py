@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Exercise every registered algorithm through the ``repro.api`` facade.
+
+Iterates the algorithm registry, builds a suitable workload for each
+entry, runs it in an :class:`repro.api.ObliviousSession`, validates the
+output, and prints one cost-report row per algorithm.
+
+Modes::
+
+    python benchmarks/run_all.py --smoke            # small inputs, <60 s
+    python benchmarks/run_all.py                    # full sizes
+    python benchmarks/run_all.py --backend memmap   # file-backed storage
+    python benchmarks/run_all.py --list             # registry contents
+
+Exits non-zero if any algorithm fails or validates incorrectly, so CI
+can use ``--smoke`` as a facade-wide regression gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.api import (
+    NULL_KEY,
+    EMConfig,
+    ObliviousSession,
+    RetryPolicy,
+    algorithm_names,
+    get_algorithm,
+)
+
+
+def build_workload(name: str, n: int, B: int, rng: np.random.Generator):
+    """Return ``(data, params, validate)`` for one registered algorithm."""
+    keys = rng.permutation(np.arange(n))
+
+    if name == "compact":
+        # A sparse layout: one record in the first cell of every third block.
+        n_blocks = max(1, n // B)
+        layout = np.zeros((n_blocks * B, 2), dtype=np.int64)
+        layout[:, 0] = NULL_KEY
+        live = np.arange(0, n_blocks, 3)
+        layout[live * B, 0] = live
+        layout[live * B, 1] = live * 10
+
+        def validate(result):
+            assert result.keys.tolist() == live.tolist(), "compact lost records"
+
+        return layout, {}, validate
+
+    if name in ("select", "sort_then_pick"):
+        def validate(result):
+            assert result.value[0] == n // 2 - 1, "wrong selected key"
+
+        return keys, {"k": n // 2}, validate
+
+    if name == "quantiles":
+        q = 3
+        expected = [
+            int(np.sort(keys)[max(1, min(n, round(i * n / (q + 1)))) - 1])
+            for i in range(1, q + 1)
+        ]
+
+        def validate(result):
+            assert result.value.tolist() == expected, "wrong quantiles"
+
+        return keys, {"q": q}, validate
+
+    if name == "shuffle":
+        def validate(result):
+            assert sorted(result.keys.tolist()) == list(range(n)), (
+                "shuffle lost records"
+            )
+
+        return keys, {}, validate
+
+    # Sorting algorithms — and a sensible default for future entries.
+    def validate(result):
+        if result.records is not None:
+            assert np.array_equal(result.keys, np.arange(n)), "wrong sort order"
+
+    return keys, {}, validate
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="small inputs: every algorithm in well under 60 s",
+    )
+    parser.add_argument(
+        "--backend", default="memory", choices=("memory", "memmap"),
+        help="storage backend for the session machine",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--list", action="store_true", help="list registered algorithms and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for name in algorithm_names():
+            spec = get_algorithm(name)
+            kind = "las-vegas" if spec.randomized else "deterministic"
+            print(f"{name:>15}  [{kind}]  {spec.summary}")
+        return 0
+
+    n, M, B = (256, 128, 4) if args.smoke else (1024, 256, 8)
+    config = EMConfig(M=M, B=B, trace=True, backend=args.backend)
+    rng = np.random.default_rng(args.seed)
+    print(
+        f"running {len(algorithm_names())} registered algorithms through "
+        f"ObliviousSession (n={n}, M={M}, B={B}, backend={args.backend})\n"
+    )
+    header = f"{'algorithm':>15}  {'ios':>8}  {'attempts':>8}  {'secs':>6}  status"
+    print(header)
+    print("-" * len(header))
+    failures = 0
+    for name in algorithm_names():
+        data, params, validate = build_workload(name, n, B, rng)
+        start = time.perf_counter()
+        try:
+            with ObliviousSession(
+                config, seed=args.seed, retry=RetryPolicy(max_attempts=8)
+            ) as session:
+                result = session.run(name, data, **params)
+            validate(result)
+            elapsed = time.perf_counter() - start
+            print(
+                f"{name:>15}  {result.cost.total:>8}  "
+                f"{result.cost.attempts:>8}  {elapsed:>6.2f}  ok"
+            )
+        except Exception as exc:  # noqa: BLE001 - report, then fail the run
+            elapsed = time.perf_counter() - start
+            print(f"{name:>15}  {'-':>8}  {'-':>8}  {elapsed:>6.2f}  FAIL: {exc}")
+            failures += 1
+    if failures:
+        print(f"\n{failures} algorithm(s) failed")
+        return 1
+    print("\nall registered algorithms ran clean through the facade")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,7 +4,9 @@ versus an oblivious one.
 Reproduces the paper's §1 motivation in miniature.  We sort the same two
 datasets — "payroll" (already sorted) and "audit log" (random) — first
 with the classical external merge sort, then with the Theorem-21
-oblivious sort, and fingerprint what Bob sees each time.
+oblivious sort, and fingerprint what Bob sees each time.  Both
+algorithms run through the same :class:`repro.api.ObliviousSession`
+facade, whose cost report carries the trace fingerprint.
 
 The merge sort's trace differs between the datasets (its streaming merge
 consumes runs in a data-dependent order): Bob can distinguish them
@@ -16,23 +18,12 @@ Run:  python examples/leaky_vs_oblivious.py
 
 import numpy as np
 
-from repro import EMMachine, external_merge_sort, make_records, make_rng, oblivious_sort
+from repro.api import EMConfig, ObliviousSession
 
 
-def trace_of(sorter, keys, seed=3):
-    machine = EMMachine(M=64, B=4)
-    arr = machine.alloc_cells(len(keys))
-    arr.load_flat(make_records(keys))
-    sorter(machine, arr, len(keys), seed)
-    return machine.trace.fingerprint()
-
-
-def merge_sorter(machine, arr, n, seed):
-    external_merge_sort(machine, arr)
-
-
-def oblivious_sorter(machine, arr, n, seed):
-    oblivious_sort(machine, arr, n, make_rng(seed))
+def trace_of(algorithm, keys, seed=3):
+    with ObliviousSession(EMConfig(M=64, B=4), seed=seed) as session:
+        return session.run(algorithm, keys).cost.trace_fingerprint
 
 
 def main() -> None:
@@ -41,16 +32,16 @@ def main() -> None:
     audit = np.random.default_rng(0).integers(0, 10**6, size=n)
 
     print("=== classical external merge sort (optimal, NOT oblivious) ===")
-    a = trace_of(merge_sorter, payroll)
-    b = trace_of(merge_sorter, audit)
+    a = trace_of("merge_sort", payroll)
+    b = trace_of("merge_sort", audit)
     print(f"  payroll trace:   {a[:32]}…")
     print(f"  audit-log trace: {b[:32]}…")
     print(f"  distinguishable by the provider: {a != b}")
     assert a != b
 
     print("\n=== Theorem 21 oblivious sort ===")
-    a = trace_of(oblivious_sorter, payroll)
-    b = trace_of(oblivious_sorter, audit)
+    a = trace_of("sort", payroll)
+    b = trace_of("sort", audit)
     print(f"  payroll trace:   {a[:32]}…")
     print(f"  audit-log trace: {b[:32]}…")
     print(f"  distinguishable by the provider: {a != b}")

@@ -3,17 +3,15 @@
 The paper's final observation is that oblivious sorting is the inner
 loop of oblivious-RAM simulation.  This example builds a small dictionary
 whose every get/put goes through the library's square-root ORAM (whose
-epoch rebuilds use the oblivious block sort): the storage provider sees
-shelter scans, uniformly random probes, and periodic reshuffles —
+epoch rebuilds use the oblivious block sort), obtained from the session
+facade via :meth:`repro.api.ObliviousSession.oram`: the storage provider
+sees shelter scans, uniformly random probes, and periodic reshuffles —
 nothing about which logical keys are hot.
 
 Run:  python examples/oram_kv_store.py
 """
 
-import numpy as np
-
-from repro import EMMachine, SquareRootORAM, make_block, make_rng
-from repro.em.block import is_empty
+from repro.api import EMConfig, ObliviousSession, is_empty, make_block
 
 
 class ObliviousKVStore:
@@ -24,9 +22,9 @@ class ObliviousKVStore:
     capacity modest relative to the table).
     """
 
-    def __init__(self, machine, capacity_cells, seed=0):
-        self.machine = machine
-        self.oram = SquareRootORAM(machine, capacity_cells, make_rng(seed))
+    def __init__(self, session, capacity_cells):
+        self.B = session.config.B
+        self.oram = session.oram(capacity_cells)
         self.capacity = capacity_cells
 
     def _cell(self, key: int) -> int:
@@ -37,16 +35,15 @@ class ObliviousKVStore:
         block = self.oram.read(cell)
         records = block[~is_empty(block)].tolist()
         records = [r for r in records if r[0] != key] + [[key, value]]
-        if len(records) > self.machine.B:
+        if len(records) > self.B:
             raise RuntimeError("bucket overflow — grow the store")
         self.oram.write(cell, make_block(
             [r[0] for r in records], values=[r[1] for r in records],
-            B=self.machine.B,
+            B=self.B,
         ))
 
     def get(self, key: int):
-        block = self.oram.read(cell := self._cell(key))
-        del cell
+        block = self.oram.read(self._cell(key))
         for k, v in block[~is_empty(block)]:
             if int(k) == key:
                 return int(v)
@@ -54,22 +51,22 @@ class ObliviousKVStore:
 
 
 def main() -> None:
-    machine = EMMachine(M=4096, B=8)
-    store = ObliviousKVStore(machine, capacity_cells=32, seed=1)
+    with ObliviousSession(EMConfig(M=4096, B=8), seed=1) as session:
+        store = ObliviousKVStore(session, capacity_cells=32)
 
-    print("writing 20 entries…")
-    for k in range(20):
-        store.put(k, k * k)
-    print("reading them back (plus misses)…")
-    for k in range(20):
-        assert store.get(k) == k * k
-    assert store.get(999) is None
+        print("writing 20 entries…")
+        for k in range(20):
+            store.put(k, k * k)
+        print("reading them back (plus misses)…")
+        for k in range(20):
+            assert store.get(k) == k * k
+        assert store.get(999) is None
 
-    print(f"logical ORAM accesses: {store.oram.accesses}")
-    print(f"epoch rebuilds (oblivious sorts): {store.oram.rebuilds}")
-    print(f"physical I/Os: {machine.total_ios} "
-          f"(~{machine.total_ios / store.oram.accesses:.0f} per access)")
-    print("the provider saw shelter scans + random probes + reshuffles only")
+        print(f"logical ORAM accesses: {store.oram.accesses}")
+        print(f"epoch rebuilds (oblivious sorts): {store.oram.rebuilds}")
+        print(f"physical I/Os: {session.total_ios} "
+              f"(~{session.total_ios / store.oram.accesses:.0f} per access)")
+        print("the provider saw shelter scans + random probes + reshuffles only")
 
 
 if __name__ == "__main__":

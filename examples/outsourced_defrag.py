@@ -7,55 +7,55 @@ provider exactly which blocks are live (i.e., which files exist and how
 big they are).
 
 This example runs the paper's tight order-preserving compaction
-(Theorem 6, the butterfly network): the provider sees the identical I/O
-sequence whether the volume is 10% or 90% live, while the user ends up
-with a dense prefix of live blocks in their original order.
+(Lemma 3 consolidation + the Theorem-6 butterfly network) through the
+session facade: the provider sees the identical I/O sequence whether
+the volume is 10% or 90% live, while the user ends up with the live
+records dense, in their original order.
 
 Run:  python examples/outsourced_defrag.py
 """
 
 import numpy as np
 
-from repro import EMMachine, make_block, tight_compact
-from repro.em.block import is_empty
+from repro.api import NULL_KEY, EMConfig, ObliviousSession
+
+N_BLOCKS = 256
+B = 8
 
 
-def build_volume(machine, n_blocks, live_fraction, rng):
-    """A volume where each block is live (holds file data) or dead."""
-    vol = machine.alloc(n_blocks, "volume")
-    live = rng.random(n_blocks) < live_fraction
+def build_volume(live_fraction, rng):
+    """A sparse cell layout: each block is live (holds file data) or dead.
+
+    Live block ``j`` carries a (file-id, offset) record in its first
+    cell; dead blocks are all-empty (``NULL_KEY``).
+    """
+    layout = np.zeros((N_BLOCKS * B, 2), dtype=np.int64)
+    layout[:, 0] = NULL_KEY
+    live = rng.random(N_BLOCKS) < live_fraction
     for j in np.flatnonzero(live):
-        # File payload: (file-id, offset) records.
-        vol.raw[j] = make_block([int(j)], values=[int(j) * 100], B=machine.B)
-    return vol, live
+        layout[j * B] = (int(j), int(j) * 100)
+    return layout, live
 
 
 def defrag(live_fraction, seed=0):
-    machine = EMMachine(M=128, B=8)
-    rng = np.random.default_rng(seed)
-    vol, live = build_volume(machine, 256, live_fraction, rng)
-    with machine.meter() as meter:
-        compacted = tight_compact(machine, vol)
-    # Verify: live blocks form a prefix, in their original order.
-    keys = []
-    for j in range(compacted.num_blocks):
-        blk = compacted.raw[j]
-        if not is_empty(blk).all():
-            keys.append(int(blk[0, 0]))
-    assert keys == sorted(np.flatnonzero(live).tolist())
-    live_count = len(keys)
-    return machine, meter, live_count
+    layout, live = build_volume(live_fraction, np.random.default_rng(seed))
+    with ObliviousSession(EMConfig(M=128, B=B), seed=seed) as session:
+        result = session.compact(layout)
+    # Verify: live records come back dense, in their original order.
+    assert result.keys.tolist() == sorted(np.flatnonzero(live).tolist())
+    return result
 
 
 def main() -> None:
-    print("defragmenting a 256-block outsourced volume (B = 8 words)\n")
+    print(f"defragmenting a {N_BLOCKS}-block outsourced volume (B = {B} words)\n")
     fingerprints = []
     for frac in (0.1, 0.5, 0.9):
-        machine, meter, live = defrag(frac)
-        fingerprints.append(machine.trace.fingerprint())
+        result = defrag(frac)
+        fingerprints.append(result.cost.trace_fingerprint)
         print(
-            f"  {int(frac * 100):>2}% live: {live:>3} live blocks compacted "
-            f"in {meter.total} I/Os, trace {fingerprints[-1][:16]}…"
+            f"  {int(frac * 100):>2}% live: {len(result.records):>3} live blocks "
+            f"compacted in {result.cost.total} I/Os, "
+            f"trace {fingerprints[-1][:16]}…"
         )
     identical = len(set(fingerprints)) == 1
     print(f"\nprovider sees the same trace at every occupancy: {identical}")

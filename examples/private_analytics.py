@@ -5,63 +5,46 @@ the median and the quartiles — but running textbook quickselect on the
 server would let the provider watch the partition pattern and learn the
 distribution's shape.  The paper's selection (Theorem 13) and quantile
 (Theorem 17) algorithms answer in O(N/B) I/Os with an input-independent
-access pattern.
+access pattern; the session facade retries their rare Las Vegas
+failures automatically, so no hand-rolled retry loop is needed.
 
 Run:  python examples/private_analytics.py
 """
 
 import numpy as np
 
-from repro import EMMachine, make_records, make_rng
-from repro.core.quantiles import QuantileFailure, quantiles_em
-from repro.core.selection import SelectionFailure, select_em
-
-
-def with_retry(fn, attempts=6):
-    """The randomized bounds fail with small probability; retrying with
-    fresh randomness is the intended recovery (each attempt oblivious)."""
-    last = None
-    for a in range(attempts):
-        try:
-            return fn(a)
-        except (SelectionFailure, QuantileFailure) as exc:
-            last = exc
-    raise last
+from repro.api import EMConfig, ObliviousSession, make_records
 
 
 def main() -> None:
     n = 1000
     rng = np.random.default_rng(42)
     salaries = np.round(rng.lognormal(mean=11.0, sigma=0.4, size=n)).astype(np.int64)
+    table = make_records(salaries, values=np.arange(n))  # value = employee id
 
-    machine = EMMachine(M=256, B=8)
-    table = machine.alloc_cells(n)
-    table.load_flat(make_records(salaries, values=np.arange(n)))
+    with ObliviousSession(EMConfig(M=256, B=8), seed=100) as session:
+        sel = session.select(table, k=n // 2)
+        median, _employee = sel.value
+        true_median = int(np.sort(salaries)[n // 2 - 1])
+        print(f"median salary: {median}  (numpy says {true_median})")
+        assert median == true_median
 
-    with machine.meter() as sel_meter:
-        median, _employee = with_retry(
-            lambda a: select_em(machine, table, n, n // 2, make_rng(100 + a))
+        quart = session.quantiles(table, q=3)
+        quartiles = quart.value
+        s = np.sort(salaries)
+        expected = [int(s[max(1, min(n, round(i * n / 4))) - 1]) for i in (1, 2, 3)]
+        print(f"quartiles: {quartiles.tolist()}  (numpy says {expected})")
+        assert quartiles.tolist() == expected
+
+        blocks = -(-n // session.config.B)
+        print(
+            f"\ncosts: selection {sel.cost.total} I/Os "
+            f"({sel.cost.attempts} attempt(s)), quantiles "
+            f"{quart.cost.total} I/Os ({quart.cost.attempts} attempt(s)) "
+            f"over {blocks} data blocks "
+            f"({sel.cost.total / blocks:.1f} and {quart.cost.total / blocks:.1f} "
+            "I/Os per block — linear, not sort-scale)"
         )
-    true_median = int(np.sort(salaries)[n // 2 - 1])
-    print(f"median salary: {median}  (numpy says {true_median})")
-    assert median == true_median
-
-    with machine.meter() as q_meter:
-        quartiles = with_retry(
-            lambda a: quantiles_em(machine, table, n, 3, make_rng(200 + a))
-        )
-    s = np.sort(salaries)
-    expected = [int(s[max(1, min(n, round(i * n / 4))) - 1]) for i in (1, 2, 3)]
-    print(f"quartiles: {quartiles.tolist()}  (numpy says {expected})")
-    assert quartiles.tolist() == expected
-
-    blocks = table.num_blocks
-    print(
-        f"\ncosts: selection {sel_meter.total} I/Os, quantiles "
-        f"{q_meter.total} I/Os over {blocks} data blocks "
-        f"({sel_meter.total / blocks:.1f} and {q_meter.total / blocks:.1f} "
-        "I/Os per block — linear, not sort-scale)"
-    )
 
 
 if __name__ == "__main__":

@@ -1,25 +1,24 @@
 """Quickstart: sort outsourced data without leaking the access pattern.
 
-Sets up the paper's model — Alice's small private cache, Bob's block
-device — loads some records, sorts them with the Theorem-21 oblivious
-sort, and shows the three things the library measures: the result, the
-I/O count (the model's cost), and the adversary's trace fingerprint
-(identical across different inputs of the same size).
+Opens an :class:`repro.api.ObliviousSession` — the library's single
+entry point, which owns the paper's model (Alice's small private cache,
+Bob's block device), derives all randomness from one seed, and retries
+the Las Vegas algorithms automatically — sorts some records with the
+Theorem-21 oblivious sort, and shows the three things every call
+reports: the result, the I/O cost, and the adversary's trace
+fingerprint (identical across different inputs of the same size).
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import EMMachine, make_records, make_rng, oblivious_sort
+from repro.api import EMConfig, ObliviousSession
 
 
 def sort_once(keys, seed=7):
-    machine = EMMachine(M=64, B=4)  # 16-block private cache
-    data = machine.alloc_cells(len(keys))
-    data.load_flat(make_records(keys))
-    out = oblivious_sort(machine, data, len(keys), make_rng(seed))
-    return machine, out
+    with ObliviousSession(EMConfig(M=64, B=4), seed=seed) as session:
+        return session.sort(keys)
 
 
 def main() -> None:
@@ -27,20 +26,27 @@ def main() -> None:
     rng = np.random.default_rng(0)
     keys = rng.integers(0, 10**6, size=n)
 
-    machine, result = sort_once(keys)
-    sorted_keys = result.nonempty()[:, 0]
-    assert np.array_equal(sorted_keys, np.sort(keys)), "sort is wrong!"
+    result = sort_once(keys)
+    assert np.array_equal(result.keys, np.sort(keys)), "sort is wrong!"
 
-    print(f"sorted {n} records: first five keys = {sorted_keys[:5].tolist()}")
-    print(f"I/Os used: {machine.total_ios} "
-          f"({machine.reads} reads, {machine.writes} writes)")
-    print(f"adversary trace: {machine.trace.fingerprint()[:32]}…")
+    print(f"sorted {n} records: first five keys = {result.keys[:5].tolist()}")
+    print(f"cost: {result.cost}")
+    print(f"adversary trace: {result.cost.trace_fingerprint[:32]}…")
 
     # The trace is identical for a completely different input.
-    machine2, _ = sort_once(np.zeros(n, dtype=np.int64))
-    same = machine.trace.fingerprint() == machine2.trace.fingerprint()
+    result2 = sort_once(np.zeros(n, dtype=np.int64))
+    same = result.cost.trace_fingerprint == result2.cost.trace_fingerprint
     print(f"same trace on all-zero input of the same size: {same}")
     assert same
+
+    # The same sort runs unchanged on the file-backed (out-of-core)
+    # storage backend — same I/Os, same trace, different substrate.
+    with ObliviousSession(
+        EMConfig(M=64, B=4, backend="memmap"), seed=7
+    ) as session:
+        result3 = session.sort(keys)
+    assert result3.cost.trace_fingerprint == result.cost.trace_fingerprint
+    print("memmap backend produced an identical trace: True")
 
 
 if __name__ == "__main__":

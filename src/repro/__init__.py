@@ -7,18 +7,33 @@ Outsourced Data"* (SPAA 2011, arXiv:1103.5102).
 Quickstart::
 
     import numpy as np
+    from repro.api import ObliviousSession
+
+    with ObliviousSession(M=64, B=4, seed=0) as session:
+        result = session.sort(np.random.permutation(1000))
+        print(result.records[:5])              # sorted records
+        print(result.cost.total)               # the model's cost measure
+        print(result.cost.trace_fingerprint)   # what the adversary saw
+        print(result.cost.attempts)            # Las Vegas attempts used
+
+The session facade owns the external-memory machine, derives all
+randomness from one seed, retries the paper's Las Vegas failures within
+a bounded budget, and supports pluggable storage backends
+(``backend="memmap"`` for out-of-core runs).  The machine-level API
+shown below remains available for algorithm-level work::
+
     from repro import EMMachine, make_records, oblivious_sort, make_rng
 
     machine = EMMachine(M=64, B=4)          # Alice's cache, Bob's block size
     data = machine.alloc_cells(1000)
     data.load_flat(make_records(np.random.permutation(1000)))
     out = oblivious_sort(machine, data, 1000, make_rng(0))
-    print(out.nonempty()[:5])                # sorted records
-    print(machine.total_ios)                 # the model's cost measure
-    print(machine.trace.fingerprint())       # what the adversary saw
 
 Subpackages
 -----------
+``repro.api``
+    The :class:`~repro.api.ObliviousSession` facade: algorithm registry,
+    storage backends, retry policies, unified cost reports.
 ``repro.em``
     The external-memory model substrate: simulated block device, client
     cache, I/O counters, access traces, adversary view.
@@ -70,6 +85,8 @@ from repro.em import (
     make_records,
 )
 from repro.analysis import fit_complexity
+from repro.api import CostReport, EMConfig, ObliviousSession, Result, RetryPolicy
+from repro.errors import LasVegasFailure, ReproError, RetryExhausted
 from repro.iblt import IBLT
 from repro.networks import butterfly_compact, butterfly_expand
 from repro.oblivious import adversarial_inputs, check_oblivious
@@ -80,6 +97,16 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # facade
+    "ObliviousSession",
+    "EMConfig",
+    "RetryPolicy",
+    "Result",
+    "CostReport",
+    # errors
+    "ReproError",
+    "LasVegasFailure",
+    "RetryExhausted",
     # model
     "EMMachine",
     "EMArray",

@@ -1,0 +1,89 @@
+"""repro.api — the session facade over the paper's algorithms.
+
+This package is the intended entry point for applications, examples and
+benchmarks.  Instead of juggling ``(machine, array, n, rng)`` plumbing
+and per-algorithm failure exceptions, you open an
+:class:`ObliviousSession` and call algorithms by name or typed method;
+every call returns a :class:`Result` bundling the output records, a
+unified I/O :class:`CostReport`, and the parameters used::
+
+    from repro.api import EMConfig, ObliviousSession
+
+    with ObliviousSession(EMConfig(M=64, B=4), seed=7) as session:
+        result = session.sort([5, 3, 1, 4, 2])
+        result.keys                  # array([1, 2, 3, 4, 5])
+        result.cost.total            # block I/Os of the winning attempt
+        result.cost.attempts         # Las Vegas attempts made
+        result.cost.trace_fingerprint  # what the adversary saw
+        session.run("quantiles", data, q=3)   # registry dispatch
+
+Retry semantics
+---------------
+The paper's randomized algorithms are Las Vegas: each attempt is
+individually data-oblivious and fails with probability ``(N/B)^{-d}``,
+raising a :class:`repro.errors.LasVegasFailure` subclass
+(``CompactionFailure``, ``SelectionFailure``, ``QuantileFailure``,
+``SortFailure``).  The session catches these and retries up to
+``RetryPolicy.max_attempts`` times.  Attempt ``a`` of call ``i`` draws
+its randomness from ``SeedSequence(entropy=seed, spawn_key=(i, a))``, so
+a single integer seed reproduces a whole session while every retry is
+statistically independent.  When the budget is exhausted the session
+raises :class:`repro.errors.RetryExhausted` with ``attempt``/``seed``
+metadata and the last underlying failure as ``__cause__``.  The number
+of attempts actually used surfaces in ``Result.cost.attempts``.
+
+Storage backends
+----------------
+Where Bob's arrays physically live is pluggable
+(:class:`repro.em.storage.StorageBackend`): ``EMConfig(backend="memory")``
+keeps them as RAM-resident numpy arrays (default), while
+``EMConfig(backend="memmap")`` puts one ``numpy.memmap`` file per array
+under ``backend_dir`` (or a private temporary directory) for runs whose
+server arrays exceed RAM.  A backend implements ``allocate(shape,
+label)``, ``release(data)`` and ``close()`` and must hand out
+zero-filled int64 buffers; it changes only where bytes are stored —
+I/O counts and adversary-visible traces are identical across backends.
+Close the session (context manager or ``.close()``) to reclaim
+file-backed storage.
+
+Registry
+--------
+``session.run(name, …)`` dispatches through
+:mod:`repro.api.registry`; :func:`repro.api.registry.register` adds new
+algorithms (``randomized=True`` opts into the retry treatment).
+"""
+
+from repro.api.config import BACKENDS, EMConfig, RetryPolicy
+from repro.api.registry import AlgorithmOutput, AlgorithmSpec, register, unregister
+from repro.api.registry import get as get_algorithm
+from repro.api.registry import names as algorithm_names
+from repro.api.result import CostReport, Result
+from repro.api.session import ObliviousSession
+from repro.em.block import NULL_KEY, is_empty, make_block, make_records
+from repro.errors import LasVegasFailure, ReproError, RetryExhausted
+
+__all__ = [
+    # facade
+    "ObliviousSession",
+    "EMConfig",
+    "RetryPolicy",
+    "Result",
+    "CostReport",
+    # registry
+    "AlgorithmSpec",
+    "AlgorithmOutput",
+    "register",
+    "unregister",
+    "get_algorithm",
+    "algorithm_names",
+    "BACKENDS",
+    # errors
+    "ReproError",
+    "LasVegasFailure",
+    "RetryExhausted",
+    # record helpers (so facade users need no other imports)
+    "NULL_KEY",
+    "make_block",
+    "make_records",
+    "is_empty",
+]

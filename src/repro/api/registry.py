@@ -1,0 +1,219 @@
+"""Algorithm registry: the dispatch table behind ``session.run(name, …)``.
+
+Every entry is an :class:`AlgorithmSpec` wrapping one of the library's
+algorithm kernels behind a uniform runner signature::
+
+    runner(machine, A, n_items, rng, params) -> AlgorithmOutput
+
+where ``A`` is the input :class:`~repro.em.storage.EMArray` the session
+loaded, ``n_items`` the public count of real records, ``rng`` the
+per-attempt generator the session derived from its seed, and ``params``
+the caller's keyword arguments (runners must consume them all — unknown
+parameters raise ``TypeError``).  The returned :class:`AlgorithmOutput`
+names the output array (``None`` for value-only algorithms) and an
+optional Python-level value; the session turns both into a
+:class:`repro.api.Result`.
+
+Third-party algorithms can join the facade via :func:`register`; specs
+with ``randomized=True`` get the session's Las Vegas retry treatment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.baselines import bitonic_external_sort, external_merge_sort, sort_then_pick
+from repro.core.compaction import tight_compact
+from repro.core.consolidation import consolidate
+from repro.core.quantiles import quantiles_em
+from repro.core.selection import select_em
+from repro.core.shuffle import knuth_block_shuffle
+from repro.core.sorting import oblivious_sort
+from repro.em.machine import EMMachine
+from repro.em.storage import EMArray
+
+__all__ = ["AlgorithmOutput", "AlgorithmSpec", "register", "unregister", "get", "names"]
+
+
+@dataclass
+class AlgorithmOutput:
+    """What a runner hands back to the session.
+
+    ``array`` is the server array holding the output records (may be the
+    input array itself for in-place algorithms, or ``None`` when the
+    algorithm produces only ``value``).  The session extracts the
+    non-empty records, frees the arrays, and builds the ``Result``.
+    """
+
+    array: EMArray | None = None
+    value: Any = None
+
+
+Runner = Callable[
+    [EMMachine, EMArray, int, np.random.Generator, dict], AlgorithmOutput
+]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """One registered algorithm."""
+
+    name: str
+    summary: str
+    runner: Runner
+    randomized: bool = False
+
+
+_REGISTRY: dict[str, AlgorithmSpec] = {}
+
+
+def register(spec: AlgorithmSpec, *, replace: bool = False) -> AlgorithmSpec:
+    """Add ``spec`` to the registry (``replace=True`` to overwrite)."""
+    if not replace and spec.name in _REGISTRY:
+        raise ValueError(f"algorithm {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister(name: str) -> None:
+    """Remove an algorithm (no-op if absent) — mainly for tests."""
+    _REGISTRY.pop(name, None)
+
+
+def get(name: str) -> AlgorithmSpec:
+    """Look up an algorithm by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {name!r}; registered: {', '.join(names())}"
+        ) from None
+
+
+def names() -> list[str]:
+    """Registered algorithm names, sorted."""
+    return sorted(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# Parameter plumbing
+# ---------------------------------------------------------------------------
+
+
+def _done(name: str, params: dict) -> None:
+    if params:
+        raise TypeError(
+            f"algorithm {name!r} got unexpected parameters: "
+            f"{', '.join(sorted(params))}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Built-in entries
+# ---------------------------------------------------------------------------
+
+
+def _run_sort(machine, A, n_items, rng, params) -> AlgorithmOutput:
+    _done("sort", params)
+    # retries=1: the session's RetryPolicy owns the Las Vegas budget.
+    return AlgorithmOutput(array=oblivious_sort(machine, A, n_items, rng, retries=1))
+
+
+def _run_merge_sort(machine, A, n_items, rng, params) -> AlgorithmOutput:
+    _done("merge_sort", params)
+    return AlgorithmOutput(array=external_merge_sort(machine, A))
+
+
+def _run_bitonic_sort(machine, A, n_items, rng, params) -> AlgorithmOutput:
+    _done("bitonic_sort", params)
+    return AlgorithmOutput(array=bitonic_external_sort(machine, A))
+
+
+def _run_compact(machine, A, n_items, rng, params) -> AlgorithmOutput:
+    capacity_blocks = params.pop("capacity_blocks", None)
+    _done("compact", params)
+    cons = consolidate(machine, A)
+    out = tight_compact(machine, cons.array, capacity_blocks)
+    if out is not cons.array:
+        machine.free(cons.array)
+    return AlgorithmOutput(array=out)
+
+
+def _run_select(machine, A, n_items, rng, params) -> AlgorithmOutput:
+    k = params.pop("k")
+    compactor = params.pop("compactor", "butterfly")
+    slack = params.pop("slack", 1.0)
+    _done("select", params)
+    key, value = select_em(
+        machine, A, n_items, k, rng, compactor=compactor, slack=slack
+    )
+    return AlgorithmOutput(value=(key, value))
+
+
+def _run_sort_then_pick(machine, A, n_items, rng, params) -> AlgorithmOutput:
+    k = params.pop("k")
+    _done("sort_then_pick", params)
+    return AlgorithmOutput(value=sort_then_pick(machine, A, n_items, k))
+
+
+def _run_quantiles(machine, A, n_items, rng, params) -> AlgorithmOutput:
+    q = params.pop("q")
+    slack = params.pop("slack", 1.0)
+    _done("quantiles", params)
+    keys = quantiles_em(machine, A, n_items, q, rng, slack=slack)
+    return AlgorithmOutput(value=keys)
+
+
+def _run_shuffle(machine, A, n_items, rng, params) -> AlgorithmOutput:
+    _done("shuffle", params)
+    knuth_block_shuffle(machine, A, rng)
+    return AlgorithmOutput(array=A)
+
+
+register(AlgorithmSpec(
+    "sort",
+    "Theorem 21 oblivious external-memory sort",
+    _run_sort,
+    randomized=True,
+))
+register(AlgorithmSpec(
+    "merge_sort",
+    "classical external merge sort (optimal, NOT oblivious)",
+    _run_merge_sort,
+))
+register(AlgorithmSpec(
+    "bitonic_sort",
+    "oblivious bitonic strawman sort (Lemma 2 substrate)",
+    _run_bitonic_sort,
+))
+register(AlgorithmSpec(
+    "compact",
+    "record-level tight compaction (Lemma 3 + Theorem 6)",
+    _run_compact,
+))
+register(AlgorithmSpec(
+    "select",
+    "Theorem 13 k-th smallest selection",
+    _run_select,
+    randomized=True,
+))
+register(AlgorithmSpec(
+    "sort_then_pick",
+    "selection baseline: oblivious sort, then scan to rank k",
+    _run_sort_then_pick,
+))
+register(AlgorithmSpec(
+    "quantiles",
+    "Theorem 17 q-quantile selection",
+    _run_quantiles,
+    randomized=True,
+))
+register(AlgorithmSpec(
+    "shuffle",
+    "Knuth block shuffle (uniform block permutation, in place)",
+    _run_shuffle,
+    randomized=True,
+))

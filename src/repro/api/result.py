@@ -1,0 +1,86 @@
+"""Uniform call results: output records + cost report + parameters."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+__all__ = ["CostReport", "Result"]
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """What one facade call cost, in the paper's model.
+
+    ``reads``/``writes`` count the block I/Os of the *successful* attempt
+    (the model's cost measure); ``attempts`` is how many Las Vegas
+    attempts were made in total; ``trace_fingerprint`` is the SHA-256 of
+    the successful attempt's adversary-visible transcript (``None`` when
+    the session's machine runs with tracing disabled).
+    """
+
+    reads: int
+    writes: int
+    attempts: int = 1
+    trace_fingerprint: str | None = None
+
+    @property
+    def total(self) -> int:
+        """Total block I/Os of the successful attempt."""
+        return self.reads + self.writes
+
+    def __str__(self) -> str:
+        fp = (
+            f", trace {self.trace_fingerprint[:16]}…"
+            if self.trace_fingerprint
+            else ""
+        )
+        return (
+            f"{self.total} I/Os ({self.reads} reads, {self.writes} writes) "
+            f"in {self.attempts} attempt(s){fp}"
+        )
+
+
+@dataclass(frozen=True)
+class Result:
+    """Everything one :class:`repro.api.ObliviousSession` call produced.
+
+    ``records`` holds the output key-value records as an ``(n, 2)`` int64
+    array (``None`` for value-only algorithms such as selection);
+    ``value`` carries scalar/ndarray outputs (the selected ``(key,
+    value)`` pair, the quantile keys, …); ``cost`` is the unified
+    :class:`CostReport`; ``params`` echoes the resolved call parameters
+    (algorithm inputs plus ``n`` and the session seed) for provenance.
+    """
+
+    algorithm: str
+    records: np.ndarray | None
+    value: Any
+    cost: CostReport
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def keys(self) -> np.ndarray:
+        """Key column of :attr:`records` (raises if value-only)."""
+        if self.records is None:
+            raise ValueError(
+                f"algorithm {self.algorithm!r} returned no records; "
+                "use .value"
+            )
+        return self.records[:, 0]
+
+    @property
+    def values(self) -> np.ndarray:
+        """Value column of :attr:`records` (raises if value-only)."""
+        if self.records is None:
+            raise ValueError(
+                f"algorithm {self.algorithm!r} returned no records; "
+                "use .value"
+            )
+        return self.records[:, 1]
+
+    def __str__(self) -> str:
+        n = "-" if self.records is None else str(len(self.records))
+        return f"Result({self.algorithm}, {n} records, {self.cost})"

@@ -1,0 +1,253 @@
+"""The :class:`ObliviousSession` facade — one object, every algorithm.
+
+A session owns an :class:`~repro.em.machine.EMMachine` (built from an
+:class:`~repro.api.config.EMConfig`), derives every random stream from a
+single seed, retries Las Vegas failures within a bounded
+:class:`~repro.api.config.RetryPolicy`, and wraps every call's output in
+a :class:`~repro.api.result.Result` carrying a unified cost report.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.api.config import EMConfig, RetryPolicy
+from repro.api.registry import get as get_spec, names as algorithm_names
+from repro.api.result import CostReport, Result
+from repro.em.block import RECORD_WIDTH, make_records, occupancy
+from repro.errors import LasVegasFailure, RetryExhausted
+
+__all__ = ["ObliviousSession"]
+
+
+def _as_records(data) -> np.ndarray:
+    """Normalise caller data to an ``(n, 2)`` int64 record array.
+
+    Accepts a 1-D sequence of keys (values default to the keys, as in
+    :func:`repro.em.block.make_records`) or an ``(n, 2)`` record array —
+    the latter may contain ``NULL_KEY`` rows to describe sparse layouts
+    for compaction.
+    """
+    arr = np.asarray(data, dtype=np.int64)
+    if arr.ndim == 1:
+        return make_records(arr)
+    if arr.ndim == 2 and arr.shape[1] == RECORD_WIDTH:
+        return arr
+    raise ValueError(
+        f"data must be 1-D keys or an (n, {RECORD_WIDTH}) record array, "
+        f"got shape {arr.shape}"
+    )
+
+
+class ObliviousSession:
+    """Single entry point to the paper's algorithms.
+
+    Parameters
+    ----------
+    config:
+        Machine shape and storage backend; defaults to :class:`EMConfig`.
+    seed:
+        Root seed.  Call ``i``'s attempt ``a`` draws from
+        ``SeedSequence(entropy=seed, spawn_key=(i, a))`` — one integer
+        reproduces an entire session, and every retry sees fresh,
+        independent randomness.
+    retry:
+        Las Vegas retry budget; defaults to :class:`RetryPolicy`.
+    **overrides:
+        Shorthand for config fields: ``ObliviousSession(M=64, B=4,
+        backend="memmap")``.
+
+    Use as a context manager (or call :meth:`close`) so file-backed
+    storage is reclaimed::
+
+        with ObliviousSession(M=64, B=4, seed=7) as session:
+            result = session.sort(keys)
+            print(result.keys, result.cost)
+    """
+
+    def __init__(
+        self,
+        config: EMConfig | None = None,
+        *,
+        seed: int = 0,
+        retry: RetryPolicy | None = None,
+        **overrides: Any,
+    ) -> None:
+        config = config if config is not None else EMConfig()
+        if overrides:
+            config = config.with_overrides(**overrides)
+        self.config = config
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.seed = int(seed)
+        self.machine = config.make_machine()
+        self._calls = 0
+        self._closed = False
+
+    # -- generic dispatch --------------------------------------------------
+
+    def run(self, algorithm: str, data, **params: Any) -> Result:
+        """Run a registered ``algorithm`` over ``data``.
+
+        Loads the records onto the session's machine, executes the
+        registered runner with a per-attempt derived RNG, retries Las
+        Vegas failures up to ``retry.max_attempts`` times, and returns a
+        :class:`Result`.  Raises :class:`repro.errors.RetryExhausted`
+        when every attempt fails.
+
+        Every call frees the server arrays it allocated and, when
+        tracing is enabled, **clears the machine's trace** at the start
+        of each attempt so ``cost.trace_fingerprint`` covers exactly one
+        attempt — mixing facade calls with machine-level work (e.g.
+        :meth:`oram` traffic) on the same session therefore loses the
+        earlier trace history; fingerprint such work before calling
+        :meth:`run`.
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        spec = get_spec(algorithm)
+        records = _as_records(data)
+        n_items = occupancy(records)
+        call_index = self._calls
+        self._calls += 1
+        echoed = dict(params, n=n_items, seed=self.seed)
+
+        machine = self.machine
+        attempts = self.retry.max_attempts if spec.randomized else 1
+        last: LasVegasFailure | None = None
+        for attempt in range(attempts):
+            before = set(machine._arrays)
+            A = machine.alloc_cells(
+                max(1, len(records)), f"{spec.name}{call_index}"
+            )
+            A.load_flat(records)
+            if machine.trace.enabled:
+                machine.trace.clear()
+            rng = self._derive_rng(call_index, attempt)
+            try:
+                with machine.metered() as meter:
+                    out = spec.runner(machine, A, n_items, rng, dict(params))
+            except LasVegasFailure as exc:
+                exc.attempt = attempt + 1
+                exc.seed = self.seed
+                last = exc
+                self._free_new_arrays(before)
+                continue
+            except BaseException:
+                # Non-retryable errors (bad keys, assumption violations,
+                # bugs): still reclaim this attempt's arrays, then re-raise.
+                self._free_new_arrays(before)
+                raise
+            extracted = out.array.nonempty() if out.array is not None else None
+            fingerprint = (
+                machine.trace.fingerprint() if machine.trace.enabled else None
+            )
+            # Reclaim everything this attempt allocated — the input, the
+            # output, and any scratch a runner left behind — so calls
+            # never accumulate server arrays (or memmap backing files).
+            self._free_new_arrays(before)
+            cost = CostReport(
+                reads=meter.reads,
+                writes=meter.writes,
+                attempts=attempt + 1,
+                trace_fingerprint=fingerprint,
+            )
+            return Result(
+                algorithm=spec.name,
+                records=extracted,
+                value=out.value,
+                cost=cost,
+                params=echoed,
+            )
+        raise RetryExhausted(
+            f"{spec.name!r} failed all {attempts} attempts "
+            f"(seed {self.seed}): {last}",
+            attempt=attempts,
+            seed=self.seed,
+        ) from last
+
+    # -- typed conveniences ------------------------------------------------
+
+    def sort(self, data, **params: Any) -> Result:
+        """Oblivious sort (Theorem 21); ``result.records`` is sorted."""
+        return self.run("sort", data, **params)
+
+    def compact(self, data, **params: Any) -> Result:
+        """Tight record compaction (Lemma 3 + Theorem 6) of a sparse
+        ``(n, 2)`` layout; pass ``capacity_blocks`` to bound the output."""
+        return self.run("compact", data, **params)
+
+    def select(self, data, k: int, **params: Any) -> Result:
+        """k-th smallest (Theorem 13); ``result.value`` is ``(key, value)``."""
+        return self.run("select", data, k=k, **params)
+
+    def quantiles(self, data, q: int, **params: Any) -> Result:
+        """q quantile keys (Theorem 17); ``result.value`` is an ndarray."""
+        return self.run("quantiles", data, q=q, **params)
+
+    def shuffle(self, data, **params: Any) -> Result:
+        """Uniform oblivious block shuffle, returning the permuted records."""
+        return self.run("shuffle", data, **params)
+
+    # -- substrates --------------------------------------------------------
+
+    def oram(self, capacity_cells: int, **kw: Any):
+        """A :class:`~repro.oram.SquareRootORAM` on this session's machine,
+        seeded from the session seed.
+
+        Note that any later :meth:`run` call clears the machine trace
+        (see :meth:`run`); read ORAM trace fingerprints before mixing in
+        facade calls."""
+        from repro.oram import SquareRootORAM
+
+        call_index = self._calls
+        self._calls += 1
+        return SquareRootORAM(
+            self.machine, capacity_cells, self._derive_rng(call_index, 0), **kw
+        )
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def algorithms(self) -> list[str]:
+        """Names accepted by :meth:`run`."""
+        return algorithm_names()
+
+    @property
+    def total_ios(self) -> int:
+        """Cumulative block I/Os across all calls of this session."""
+        return self.machine.total_ios
+
+    def close(self) -> None:
+        """Free server arrays and close the storage backend (idempotent)."""
+        if not self._closed:
+            self.machine.close()
+            self._closed = True
+
+    def __enter__(self) -> "ObliviousSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # -- internals ---------------------------------------------------------
+
+    def _derive_rng(self, call_index: int, attempt: int) -> np.random.Generator:
+        seq = np.random.SeedSequence(
+            entropy=self.seed, spawn_key=(call_index, attempt)
+        )
+        return np.random.default_rng(seq)
+
+    def _free_new_arrays(self, before: set[int]) -> None:
+        """Drop arrays a failed attempt leaked (its temporaries + input)."""
+        machine = self.machine
+        for array_id in set(machine._arrays) - before:
+            machine.free(machine._arrays[array_id])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ObliviousSession(M={self.config.M}, B={self.config.B}, "
+            f"backend={self.config.backend!r}, seed={self.seed}, "
+            f"calls={self._calls})"
+        )
+

@@ -41,6 +41,7 @@ from repro.core.block_sort import oblivious_block_sort
 from repro.core.thinning import thinning_rounds
 from repro.em.block import NULL_KEY, RECORD_WIDTH, is_empty
 from repro.em.errors import EMError
+from repro.errors import LasVegasFailure
 from repro.em.machine import EMMachine
 from repro.em.storage import EMArray
 from repro.iblt.hashing import PartitionedHashFamily
@@ -61,7 +62,7 @@ __all__ = [
 _INF_KEY = 1 << 62
 
 
-class CompactionFailure(EMError):
+class CompactionFailure(EMError, LasVegasFailure):
     """A randomized compaction exceeded its probabilistic capacity bounds.
 
     The paper's algorithms fail with probability ``<= (N/B)^-d``; callers

@@ -35,6 +35,7 @@ from repro.core.block_sort import oblivious_block_sort
 from repro.core.external_sort import oblivious_external_sort
 from repro.em.block import NULL_KEY, is_empty
 from repro.em.errors import EMError
+from repro.errors import LasVegasFailure
 from repro.em.machine import EMMachine
 from repro.em.storage import EMArray
 from repro.networks.butterfly import butterfly_compact, butterfly_expand
@@ -47,7 +48,7 @@ _KEY_SPAN = 1 << 41
 _DUMMY_MARK = _KEY_SPAN - 1
 
 
-class SweepOverflow(EMError):
+class SweepOverflow(EMError, LasVegasFailure):
     """More failed blocks than the sweep capacity (Lemma 20's tail)."""
 
 

@@ -36,6 +36,7 @@ from repro.core.consolidation import consolidate
 from repro.core.external_sort import oblivious_external_sort
 from repro.em.block import NULL_KEY, is_empty
 from repro.em.errors import EMError
+from repro.errors import LasVegasFailure
 from repro.em.machine import EMMachine
 from repro.em.storage import EMArray
 from repro.networks.comparator import sort_records
@@ -44,7 +45,7 @@ from repro.util.mathx import ceil_div
 __all__ = ["QuantileFailure", "quantiles_em", "QuantileReport"]
 
 
-class QuantileFailure(EMError):
+class QuantileFailure(EMError, LasVegasFailure):
     """A probabilistic bound of Lemmas 14-16 failed; retry with fresh
     randomness (each attempt is individually oblivious)."""
 

@@ -37,6 +37,7 @@ from repro.core.consolidation import consolidate
 from repro.core.external_sort import oblivious_external_sort
 from repro.em.block import NULL_KEY, RECORD_WIDTH, is_empty
 from repro.em.errors import EMError
+from repro.errors import LasVegasFailure
 from repro.em.machine import EMMachine
 from repro.em.storage import EMArray
 from repro.util.mathx import ceil_div
@@ -44,7 +45,7 @@ from repro.util.mathx import ceil_div
 __all__ = ["SelectionFailure", "select_em", "SelectionReport"]
 
 
-class SelectionFailure(EMError):
+class SelectionFailure(EMError, LasVegasFailure):
     """A probabilistic size/bracket bound failed (paper Lemmas 10-11).
 
     Each attempt is individually data-oblivious; retry with fresh

@@ -23,6 +23,7 @@ import numpy as np
 from repro.core._helpers import block_occupied, empty_block
 from repro.em.block import is_empty
 from repro.em.errors import EMError
+from repro.errors import LasVegasFailure
 from repro.em.machine import EMMachine
 from repro.em.storage import EMArray
 from repro.util.mathx import ceil_div
@@ -30,7 +31,7 @@ from repro.util.mathx import ceil_div
 __all__ = ["knuth_block_shuffle", "shuffle_and_deal", "DealResult", "DealOverflow"]
 
 
-class DealOverflow(EMError):
+class DealOverflow(EMError, LasVegasFailure):
     """A batch held more blocks of one colour than the Lemma-18 bound —
     the w.h.p. tail event; retry with fresh randomness."""
 

@@ -51,6 +51,7 @@ from repro.core.quantiles import QuantileFailure, quantiles_em
 from repro.core.shuffle import DealOverflow, shuffle_and_deal
 from repro.em.block import NULL_KEY, RECORD_WIDTH, is_empty
 from repro.em.errors import EMError
+from repro.errors import LasVegasFailure
 from repro.em.machine import EMMachine
 from repro.em.storage import EMArray
 from repro.networks.comparator import sort_records
@@ -62,7 +63,7 @@ __all__ = ["SortFailure", "oblivious_sort", "SortStats"]
 _RETRYABLE = (QuantileFailure, DealOverflow, CompactionFailure, SweepOverflow)
 
 
-class SortFailure(EMError):
+class SortFailure(EMError, LasVegasFailure):
     """All retries of the randomized sort failed — probability
     ``(N/B)^{-d}`` per attempt under the paper's analysis."""
 

@@ -19,7 +19,7 @@ from repro.em.cache import CacheOverflowError, ClientCache
 from repro.em.crypto import CiphertextVersions
 from repro.em.errors import EMError, OutOfBoundsError
 from repro.em.machine import EMMachine, IOMeter
-from repro.em.storage import EMArray
+from repro.em.storage import EMArray, MemmapBackend, MemoryBackend, StorageBackend
 from repro.em.trace import AccessTrace, TraceEvent
 from repro.em.adversary import AdversaryView
 
@@ -38,6 +38,9 @@ __all__ = [
     "EMMachine",
     "IOMeter",
     "EMArray",
+    "StorageBackend",
+    "MemoryBackend",
+    "MemmapBackend",
     "AccessTrace",
     "TraceEvent",
     "AdversaryView",

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+from repro.errors import ReproError
+
 __all__ = ["EMError", "OutOfBoundsError"]
 
 
-class EMError(Exception):
+class EMError(ReproError):
     """Base class for all external-memory model violations."""
 
 

@@ -9,7 +9,7 @@ construction.
 
 from __future__ import annotations
 
-from contextlib import contextmanager
+from contextlib import AbstractContextManager, contextmanager
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -18,7 +18,7 @@ import numpy as np
 from repro.em.block import RECORD_WIDTH
 from repro.em.cache import ClientCache
 from repro.em.errors import EMError
-from repro.em.storage import EMArray
+from repro.em.storage import EMArray, MemoryBackend, StorageBackend
 from repro.em.trace import AccessTrace, Op
 
 __all__ = ["EMMachine", "IOMeter"]
@@ -49,9 +49,20 @@ class EMMachine:
     trace:
         Record the adversary-visible access trace (default True).  Large
         benchmark runs may disable it; I/O counters are always maintained.
+    backend:
+        Storage backend providing the server-side buffers (default:
+        :class:`repro.em.storage.MemoryBackend`).  Backends change where
+        the bytes live, never the I/O counts or the trace.
     """
 
-    def __init__(self, M: int, B: int, *, trace: bool = True) -> None:
+    def __init__(
+        self,
+        M: int,
+        B: int,
+        *,
+        trace: bool = True,
+        backend: StorageBackend | None = None,
+    ) -> None:
         if B < 1:
             raise ValueError(f"block size B must be >= 1, got {B}")
         if M < 2 * B:
@@ -61,6 +72,7 @@ class EMMachine:
         self.cache = ClientCache(M // B)
         self.trace = AccessTrace()
         self.trace.enabled = trace
+        self.backend = backend if backend is not None else MemoryBackend()
         self.reads = 0
         self.writes = 0
         self._arrays: dict[int, EMArray] = {}
@@ -86,7 +98,13 @@ class EMMachine:
         Allocation is adversary-visible (Bob provisions the space), so an
         ``ALLOC`` event carrying the length is traced.
         """
-        arr = EMArray(self._next_id, name or f"arr{self._next_id}", num_blocks, self.B)
+        arr = EMArray(
+            self._next_id,
+            name or f"arr{self._next_id}",
+            num_blocks,
+            self.B,
+            backend=self.backend,
+        )
         self._arrays[arr.array_id] = arr
         self._next_id += 1
         self.trace.record(Op.ALLOC, arr.array_id, num_blocks)
@@ -102,6 +120,7 @@ class EMMachine:
         if arr.array_id not in self._arrays:
             raise EMError(f"array {arr.name!r} is not owned by this machine")
         del self._arrays[arr.array_id]
+        self.backend.release(arr._data)
         self.trace.record(Op.FREE, arr.array_id, arr.num_blocks)
 
     # -- block I/O ----------------------------------------------------------
@@ -166,9 +185,19 @@ class EMMachine:
 
     # -- metering ------------------------------------------------------------
 
+    def reset_counters(self) -> None:
+        """Zero the cumulative read/write counters (the trace is untouched)."""
+        self.reads = 0
+        self.writes = 0
+
     @contextmanager
-    def meter(self) -> Iterator[IOMeter]:
-        """Measure the I/Os performed inside a ``with`` body."""
+    def metered(self) -> Iterator[IOMeter]:
+        """Measure the I/Os performed inside a ``with`` body.
+
+        Yields an :class:`IOMeter` whose ``reads``/``writes`` are filled
+        in when the body exits (normally or via an exception) — no
+        hand-subtraction of ``total_ios`` snapshots required.
+        """
         start_r, start_w = self.reads, self.writes
         m = IOMeter()
         try:
@@ -176,6 +205,18 @@ class EMMachine:
         finally:
             m.reads = self.reads - start_r
             m.writes = self.writes - start_w
+
+    def meter(self) -> AbstractContextManager[IOMeter]:
+        """Alias of :meth:`metered`, kept for backwards compatibility."""
+        return self.metered()
+
+    # -- teardown ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Release every server array and close the storage backend."""
+        for arr in list(self._arrays.values()):
+            self.free(arr)
+        self.backend.close()
 
     # -- internals -------------------------------------------------------------
 

@@ -1,13 +1,28 @@
-"""Server-side arrays (Bob's disk).
+"""Server-side arrays (Bob's disk) and their storage backends.
 
 An :class:`EMArray` is a named, fixed-length array of blocks living on the
 simulated server.  All access goes through :class:`repro.em.machine.EMMachine`
 so that I/Os are counted and traced; direct access to the backing store is
 exposed only through the explicitly "omniscient" ``raw`` view used by tests
 and result extraction (never by the algorithms themselves).
+
+Where the blocks physically live is pluggable.  A *storage backend*
+provides zero-initialised ``(num_blocks, B, 2)`` int64 buffers:
+
+* :class:`MemoryBackend` — plain ``numpy`` arrays in RAM (the default);
+* :class:`MemmapBackend` — one ``numpy.memmap`` file per array, for
+  out-of-core runs whose server arrays exceed RAM.
+
+Backends only change where bytes are stored: the machine's I/O counters
+and the adversary-visible trace are identical across backends, which
+``tests/test_api_backends.py`` asserts via trace fingerprints.
 """
 
 from __future__ import annotations
+
+import re
+import tempfile
+from pathlib import Path
 
 import numpy as np
 
@@ -15,7 +30,98 @@ from repro.em.block import NULL_KEY, RECORD_WIDTH, is_empty
 from repro.em.crypto import CiphertextVersions
 from repro.em.errors import OutOfBoundsError
 
-__all__ = ["EMArray"]
+__all__ = ["EMArray", "StorageBackend", "MemoryBackend", "MemmapBackend"]
+
+
+class StorageBackend:
+    """Protocol for server-side block storage.
+
+    Subclasses implement :meth:`allocate`; :meth:`release` and
+    :meth:`close` are no-ops unless the backend owns external resources.
+    ``allocate`` must return a *zero-filled* int64 ndarray (or ndarray
+    subclass) of the requested shape.
+    """
+
+    #: Short name used by :class:`repro.api.EMConfig` to select a backend.
+    name = "abstract"
+
+    def allocate(self, shape: tuple[int, ...], label: str = "") -> np.ndarray:
+        """Return a zero-initialised int64 buffer of ``shape``."""
+        raise NotImplementedError
+
+    def release(self, data: np.ndarray) -> None:
+        """Reclaim a buffer previously returned by :meth:`allocate`."""
+
+    def close(self) -> None:
+        """Release every resource the backend still holds."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class MemoryBackend(StorageBackend):
+    """The default backend: ordinary ``numpy`` arrays in RAM."""
+
+    name = "memory"
+
+    def allocate(self, shape: tuple[int, ...], label: str = "") -> np.ndarray:
+        return np.zeros(shape, dtype=np.int64)
+
+
+class MemmapBackend(StorageBackend):
+    """File-backed storage: one ``numpy.memmap`` per server array.
+
+    Parameters
+    ----------
+    directory:
+        Where the backing files live.  ``None`` (default) creates a
+        private temporary directory that :meth:`close` removes.
+
+    Released arrays have their backing file unlinked immediately (the
+    mapping itself stays valid until the last ndarray reference dies, so
+    stale ``raw`` views cannot crash).  Always :meth:`close` the backend
+    — or use :class:`repro.api.ObliviousSession` as a context manager,
+    which does it for you — to reclaim the files of still-live arrays.
+    """
+
+    name = "memmap"
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        if directory is None:
+            self._tmpdir = tempfile.TemporaryDirectory(prefix="repro-em-")
+            self.directory = Path(self._tmpdir.name)
+        else:
+            self._tmpdir = None
+            self.directory = Path(directory)
+            self.directory.mkdir(parents=True, exist_ok=True)
+        self._paths: dict[int, Path] = {}
+        self._seq = 0
+
+    def allocate(self, shape: tuple[int, ...], label: str = "") -> np.ndarray:
+        if int(np.prod(shape)) == 0:
+            # mmap cannot map zero bytes; empty arrays never do I/O anyway.
+            return np.zeros(shape, dtype=np.int64)
+        safe = re.sub(r"[^A-Za-z0-9_.-]+", "_", label) or "arr"
+        path = self.directory / f"{self._seq:06d}-{safe}.blk"
+        self._seq += 1
+        data = np.memmap(path, dtype=np.int64, mode="w+", shape=shape)
+        self._paths[id(data)] = path
+        return data
+
+    def release(self, data: np.ndarray) -> None:
+        path = self._paths.pop(id(data), None)
+        if path is not None:
+            path.unlink(missing_ok=True)
+
+    def close(self) -> None:
+        for path in self._paths.values():
+            path.unlink(missing_ok=True)
+        self._paths.clear()
+        if self._tmpdir is not None:
+            self._tmpdir.cleanup()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MemmapBackend(directory={str(self.directory)!r})"
 
 
 class EMArray:
@@ -27,7 +133,14 @@ class EMArray:
 
     __slots__ = ("array_id", "name", "num_blocks", "B", "_data", "versions")
 
-    def __init__(self, array_id: int, name: str, num_blocks: int, B: int) -> None:
+    def __init__(
+        self,
+        array_id: int,
+        name: str,
+        num_blocks: int,
+        B: int,
+        backend: StorageBackend | None = None,
+    ) -> None:
         if num_blocks < 0:
             raise ValueError(f"num_blocks must be non-negative, got {num_blocks}")
         if B < 1:
@@ -36,7 +149,8 @@ class EMArray:
         self.name = name
         self.num_blocks = num_blocks
         self.B = B
-        self._data = np.full((num_blocks, B, RECORD_WIDTH), 0, dtype=np.int64)
+        backend = backend if backend is not None else MemoryBackend()
+        self._data = backend.allocate((num_blocks, B, RECORD_WIDTH), name)
         self._data[:, :, 0] = NULL_KEY
         self.versions = CiphertextVersions(num_blocks)
 

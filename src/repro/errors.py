@@ -1,0 +1,56 @@
+"""Unified exception hierarchy for the library.
+
+Every error the library raises descends from :class:`ReproError`, so
+``except ReproError`` catches anything repro-specific without swallowing
+genuine programming errors.  Probabilistic (Las Vegas) failures — the
+paper's w.v.h.p. tail events, which callers are *expected* to handle by
+retrying with fresh randomness — additionally descend from
+:class:`LasVegasFailure`, which carries attempt/seed metadata so retry
+loops (notably :class:`repro.api.ObliviousSession`) can report how a
+call ultimately failed.
+
+Concrete failure classes keep their historical bases too (for example
+:class:`repro.core.compaction.CompactionFailure` is still an
+:class:`repro.em.errors.EMError`), so pre-existing ``except`` clauses
+continue to work unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ReproError", "LasVegasFailure", "RetryExhausted"]
+
+
+class ReproError(Exception):
+    """Base class for every error defined by this library."""
+
+
+class LasVegasFailure(ReproError):
+    """A randomized algorithm exceeded one of its probabilistic bounds.
+
+    The paper's Las Vegas algorithms fail with probability at most
+    ``(N/B)^{-d}`` per attempt; each attempt is individually
+    data-oblivious, so the intended recovery is a retry with fresh
+    randomness.  ``attempt`` and ``seed`` are filled in by retry drivers
+    (:class:`repro.api.ObliviousSession`) when they give up, and are
+    ``None`` when the failure came straight from a bare algorithm call.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        attempt: int | None = None,
+        seed: int | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.attempt = attempt
+        self.seed = seed
+
+
+class RetryExhausted(LasVegasFailure):
+    """A bounded retry budget was spent without a successful attempt.
+
+    Raised by :class:`repro.api.ObliviousSession` with ``attempt`` set to
+    the number of attempts made and ``__cause__`` chaining the last
+    underlying :class:`LasVegasFailure`.
+    """
