@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Dump trace fingerprints + I/O counts for the acceptance-criteria quartet.
+
+Used to verify the batched I/O engine reproduces the scalar engine's
+adversary-visible transcript byte-for-byte:
+
+    PYTHONPATH=src python benchmarks/_fingerprint_check.py > before.txt
+    ... refactor ...
+    PYTHONPATH=src python benchmarks/_fingerprint_check.py > after.txt
+    diff before.txt after.txt
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.api import NULL_KEY, EMConfig, ObliviousSession
+
+
+def main() -> None:
+    n, M, B = 512, 128, 4
+    rng = np.random.default_rng(0)
+    keys = rng.permutation(np.arange(n))
+
+    n_blocks = n // B
+    layout = np.zeros((n_blocks * B, 2), dtype=np.int64)
+    layout[:, 0] = NULL_KEY
+    live = np.arange(0, n_blocks, 3)
+    layout[live * B, 0] = live
+    layout[live * B, 1] = live * 10
+
+    calls = [
+        ("sort", keys, {}),
+        ("select", keys, {"k": n // 2}),
+        ("quantiles", keys, {"q": 3}),
+        ("compact", layout, {}),
+    ]
+    for backend in ("memory", "memmap"):
+        for name, data, params in calls:
+            config = EMConfig(M=M, B=B, trace=True, backend=backend)
+            with ObliviousSession(config, seed=11) as session:
+                start = time.perf_counter()
+                result = session.run(name, data, **params)
+                elapsed = time.perf_counter() - start
+            print(
+                f"{backend:>6} {name:>10} ios={result.cost.total:>8} "
+                f"fp={result.cost.trace_fingerprint} ({elapsed:.2f}s)"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -32,7 +32,7 @@ def bench_e5_logstar_series(capsys):
     for n in (128, 256, 512, 1024):
         r = n // 4  # densest allowed: forces the general path
         mach, arr = _instance(n, r)
-        with mach.meter() as meter:
+        with mach.metered() as meter:
             loose_compact_logstar(mach, arr, r, make_rng(2), tower_base=2)
         norm = meter.total / (n * max(1, log_star(n)))
         rows.append([n, r, meter.total, meter.total / n, norm])
@@ -59,7 +59,7 @@ def bench_e5_minimal_model(capsys):
     occupied = sorted(rng.choice(64, size=16, replace=False).tolist())
     for j in occupied:
         arr.raw[j] = make_block([int(j)], B=4)
-    with mach.meter() as meter:
+    with mach.metered() as meter:
         out = loose_compact_logstar(mach, arr, 16, make_rng(3))
     from repro.em.block import is_empty
 

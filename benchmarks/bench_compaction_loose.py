@@ -29,7 +29,7 @@ def bench_e4_linear_io_series(capsys):
     for n in (128, 256, 512, 1024, 2048):
         r = n // 8
         mach, arr = _instance(n, r)
-        with mach.meter() as meter:
+        with mach.metered() as meter:
             loose_compact(mach, arr, r, make_rng(5))
         rows.append([n, r, meter.total, meter.total / n])
     with capsys.disabled():

@@ -32,7 +32,7 @@ def bench_e2_io_series(capsys):
     for n in (64, 128, 256, 512):
         r = max(2, int(n / max(1.0, np.log2(n) ** 2)))
         mach, arr = _instance(n, r)
-        with mach.meter() as meter:
+        with mach.metered() as meter:
             tight_compact_sparse(mach, arr, r, make_rng(1), oblivious_list=False)
         per_block = meter.total / n
         rows.append([n, r, meter.total, per_block])

@@ -20,7 +20,7 @@ def _ios(n, m_blocks, windowed, B=4, seed=0):
     mach = EMMachine(M=m_blocks * B, B=B, trace=False)
     rng = np.random.default_rng(seed)
     arr, _ = load_sparse_blocks(mach, n, 0.5, rng)
-    with mach.meter() as meter:
+    with mach.metered() as meter:
         butterfly_compact(mach, arr, windowed=windowed)
     return meter.total
 

@@ -17,7 +17,7 @@ def _run_once(n_blocks, B, density, seed=0):
     mach = EMMachine(M=16 * B, B=B, trace=False)
     rng = np.random.default_rng(seed)
     arr, _ = load_sparse_blocks(mach, n_blocks, density, rng)
-    with mach.meter() as meter:
+    with mach.metered() as meter:
         consolidate(mach, arr)
     return meter
 

@@ -60,7 +60,7 @@ def bench_e9_sort_cost_inside_rebuild(capsys):
             rng = np.random.default_rng(0)
             for j in range(n):
                 arr.raw[j] = make_block([int(rng.integers(0, 10**6))], B=4)
-            with mach.meter() as meter:
+            with mach.metered() as meter:
                 oblivious_block_sort(mach, [arr], run_blocks=run_blocks)
             return meter.total
 

@@ -11,16 +11,22 @@ Modes::
     python benchmarks/run_all.py                    # full sizes
     python benchmarks/run_all.py --backend memmap   # file-backed storage
     python benchmarks/run_all.py --list             # registry contents
+    python benchmarks/run_all.py --json out/        # BENCH_<algo>.json files
 
 Exits non-zero if any algorithm fails or validates incorrectly, so CI
-can use ``--smoke`` as a facade-wide regression gate.
+can use ``--smoke`` as a facade-wide regression gate.  ``--json DIR``
+additionally writes one ``BENCH_<algo>.json`` artifact per algorithm
+(wall time, I/O counts, batch statistics, N/M/B) so the performance
+trajectory can be tracked across pull requests.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -100,6 +106,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--list", action="store_true", help="list registered algorithms and exit"
     )
+    parser.add_argument(
+        "--json", metavar="DIR", default=None,
+        help="write one BENCH_<algo>.json artifact per algorithm to DIR",
+    )
     args = parser.parse_args(argv)
 
     if args.list:
@@ -112,6 +122,9 @@ def main(argv: list[str] | None = None) -> int:
     n, M, B = (256, 128, 4) if args.smoke else (1024, 256, 8)
     config = EMConfig(M=M, B=B, trace=True, backend=args.backend)
     rng = np.random.default_rng(args.seed)
+    json_dir = Path(args.json) if args.json else None
+    if json_dir is not None:
+        json_dir.mkdir(parents=True, exist_ok=True)
     print(
         f"running {len(algorithm_names())} registered algorithms through "
         f"ObliviousSession (n={n}, M={M}, B={B}, backend={args.backend})\n"
@@ -134,6 +147,27 @@ def main(argv: list[str] | None = None) -> int:
                 f"{name:>15}  {result.cost.total:>8}  "
                 f"{result.cost.attempts:>8}  {elapsed:>6.2f}  ok"
             )
+            if json_dir is not None:
+                artifact = {
+                    "algorithm": name,
+                    "n": n,
+                    "M": M,
+                    "B": B,
+                    "backend": args.backend,
+                    "seed": args.seed,
+                    "wall_seconds": elapsed,
+                    "reads": result.cost.reads,
+                    "writes": result.cost.writes,
+                    "total_ios": result.cost.total,
+                    "attempts": result.cost.attempts,
+                    "batches": result.cost.batches,
+                    "batched_ios": result.cost.batched_ios,
+                    "mean_batch_size": result.cost.mean_batch_size,
+                    "batched_fraction": result.cost.batched_fraction,
+                    "trace_fingerprint": result.cost.trace_fingerprint,
+                }
+                path = json_dir / f"BENCH_{name}.json"
+                path.write_text(json.dumps(artifact, indent=2) + "\n")
         except Exception as exc:  # noqa: BLE001 - report, then fail the run
             elapsed = time.perf_counter() - start
             print(f"{name:>15}  {'-':>8}  {'-':>8}  {elapsed:>6.2f}  FAIL: {exc}")

@@ -19,17 +19,35 @@ class CostReport:
     attempts were made in total; ``trace_fingerprint`` is the SHA-256 of
     the successful attempt's adversary-visible transcript (``None`` when
     the session's machine runs with tracing disabled).
+
+    ``batches``/``batched_ios`` expose the batched I/O engine's behaviour:
+    how many bulk gather/scatter calls the attempt issued and how many of
+    its I/Os went through them (the remainder used the scalar path).  The
+    modeled cost is unaffected — batching changes constant factors of the
+    simulation, never the trace or the I/O counts.
     """
 
     reads: int
     writes: int
     attempts: int = 1
     trace_fingerprint: str | None = None
+    batches: int = 0
+    batched_ios: int = 0
 
     @property
     def total(self) -> int:
         """Total block I/Os of the successful attempt."""
         return self.reads + self.writes
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average I/Os per batched engine call (0.0 if none)."""
+        return self.batched_ios / self.batches if self.batches else 0.0
+
+    @property
+    def batched_fraction(self) -> float:
+        """Fraction of the attempt's I/Os issued through the batched engine."""
+        return self.batched_ios / self.total if self.total else 0.0
 
     def __str__(self) -> str:
         fp = (
@@ -37,9 +55,14 @@ class CostReport:
             if self.trace_fingerprint
             else ""
         )
+        batch = (
+            f", {self.batches} batches (mean {self.mean_batch_size:.1f})"
+            if self.batches
+            else ""
+        )
         return (
             f"{self.total} I/Os ({self.reads} reads, {self.writes} writes) "
-            f"in {self.attempts} attempt(s){fp}"
+            f"in {self.attempts} attempt(s){batch}{fp}"
         )
 
 

@@ -152,6 +152,8 @@ class ObliviousSession:
                 writes=meter.writes,
                 attempts=attempt + 1,
                 trace_fingerprint=fingerprint,
+                batches=meter.batches,
+                batched_ios=meter.batched_ios,
             )
             return Result(
                 algorithm=spec.name,

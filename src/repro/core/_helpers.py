@@ -1,24 +1,33 @@
 """Internal scan helpers shared by the core algorithms.
 
 All of these are plain sequential scans: their access patterns are fixed
-functions of the array lengths involved, hence data-oblivious.
+functions of the array lengths involved, hence data-oblivious.  They run
+through the machine's batched engine in cache-sized chunks — the emitted
+trace is identical to the scalar formulation (see
+:meth:`repro.em.machine.EMMachine.io_rounds`).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.em.batch import blocks_occupied, empty_blocks, hold_scan, scan_chunks
 from repro.em.block import NULL_KEY, RECORD_WIDTH, is_empty
 from repro.em.machine import EMMachine
 from repro.em.storage import EMArray
 
 __all__ = [
     "empty_block",
+    "empty_blocks",
+    "scan_chunks",
+    "hold_scan",
     "copy_blocks",
     "copy_array",
     "concat_arrays",
     "block_occupied",
+    "blocks_occupied",
     "count_occupied_blocks",
+    "ranked_records_scan",
 ]
 
 
@@ -37,9 +46,11 @@ def copy_blocks(
     count: int,
 ) -> None:
     """Copy ``count`` consecutive blocks between arrays (scan, 2 I/Os each)."""
-    with machine.cache.hold(1):
-        for t in range(count):
-            machine.write(dst, dst_lo + t, machine.read(src, src_lo + t))
+    for lo, hi in scan_chunks(machine, count):
+        with hold_scan(machine, 1, hi - lo):
+            machine.copy_many(
+                src, (src_lo + lo, src_lo + hi), dst, (dst_lo + lo, dst_lo + hi)
+            )
 
 
 def copy_array(machine: EMMachine, src: EMArray, name: str = "") -> EMArray:
@@ -68,8 +79,31 @@ def block_occupied(block: np.ndarray) -> bool:
 def count_occupied_blocks(machine: EMMachine, A: EMArray) -> int:
     """Scan counting occupied blocks (the count is private to Alice)."""
     count = 0
-    with machine.cache.hold(1):
-        for j in range(A.num_blocks):
-            if block_occupied(machine.read(A, j)):
-                count += 1
+    for lo, hi in scan_chunks(machine, A.num_blocks):
+        with hold_scan(machine, 1, hi - lo):
+            blocks = machine.read_many(A, (lo, hi))
+            count += int(np.count_nonzero(blocks_occupied(blocks)))
     return count
+
+
+def ranked_records_scan(
+    machine: EMMachine, arr: EMArray, ranks
+) -> dict[int, tuple[int, int]]:
+    """Scan ``arr`` returning ``{rank: (key, value)}`` for the (private)
+    1-based ranks in ``ranks``, counted over non-empty records in array
+    order.  The scan pattern is a fixed function of the array length."""
+    want = np.asarray(sorted({r for r in ranks if r >= 1}), dtype=np.int64)
+    found: dict[int, tuple[int, int]] = {}
+    seen = 0
+    for lo, hi in scan_chunks(machine, arr.num_blocks):
+        with hold_scan(machine, 1, hi - lo):
+            blocks = machine.read_many(arr, (lo, hi))
+            flat = blocks.reshape(-1, RECORD_WIDTH)
+            real = flat[~is_empty(flat)]
+            if len(real):
+                rk = seen + 1 + np.arange(len(real), dtype=np.int64)
+                hits = np.isin(rk, want)
+                for r, rec in zip(rk[hits], real[hits]):
+                    found[int(r)] = (int(rec[0]), int(rec[1]))
+                seen += len(real)
+    return found

@@ -24,6 +24,10 @@ Parallel arrays are permuted identically (a (meta, payload) pair stays
 aligned): internally every atom drags one side-car key block that is
 filled by ``key_fn`` once at the start; padding atoms carry an explicit
 "pad" flag and sort last.
+
+Runs and comparators move whole atom groups through the batched engine
+(:meth:`repro.em.machine.EMMachine.io_rounds`), emitting the scalar
+per-atom event order.
 """
 
 from __future__ import annotations
@@ -32,7 +36,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from repro.em.block import NULL_KEY, RECORD_WIDTH
+from repro.em.batch import empty_blocks, hold_scan, scan_chunks
 from repro.em.machine import EMMachine
 from repro.em.storage import EMArray
 from repro.networks.odd_even import batcher_pairs
@@ -87,57 +91,70 @@ def oblivious_block_sort(
         )
     num_runs = ceil_div(n, R)
     size = num_runs * R
+    T = len(arrays)
 
     # Working copies (padded to whole runs) plus the key side-car.
     work = [machine.alloc(size, f"{arr.name}.bsort") for arr in arrays]
     keys = machine.alloc(size, f"{arrays[0].name}.bsort.key")
-    empty = np.full((B, RECORD_WIDTH), 0, dtype=np.int64)
-    empty[:, 0] = NULL_KEY
     with machine.cache.hold(width):
-        for j in range(size):
-            if j < n:
-                primary = machine.read(arrays[0], j)
-                machine.write(work[0], j, primary)
-                for t in range(1, len(arrays)):
-                    machine.write(work[t], j, machine.read(arrays[t], j))
-                kb = empty.copy()
-                kb[0, 0] = key_fn(primary)
-                kb[0, 1] = 0  # real atom
-                machine.write(keys, j, kb)
-            else:
-                for t in range(len(arrays)):
-                    machine.write(work[t], j, empty)
-                kb = empty.copy()
-                kb[0, 0] = 0
-                kb[0, 1] = 1  # pad atom: sorts last
-                machine.write(keys, j, kb)
+        for lo, hi in scan_chunks(machine, n, streams=2 * T + 1):
+            with hold_scan(machine, 2 * T + 1, hi - lo):
+                idx = (lo, hi)
 
-    def load_run(lo: int) -> tuple[list[tuple[int, int]], list[list[np.ndarray]]]:
-        """Read ``R`` atoms starting at ``lo``; returns (sort keys, blocks)."""
-        atom_keys = []
-        atom_blocks = []
-        for j in range(lo, lo + R):
-            kb = machine.read(keys, j)
-            atom_keys.append((int(kb[0, 1]), int(kb[0, 0])))
-            atom_blocks.append(
-                [kb] + [machine.read(work[t], j) for t in range(len(arrays))]
-            )
-        return atom_keys, atom_blocks
+                def key_blocks(reads, k=hi - lo):
+                    primary = reads[0]
+                    if key_fn is _default_key:
+                        kvals = primary[:, 0, 0]
+                    else:
+                        kvals = np.array(
+                            [int(key_fn(b)) for b in primary], dtype=np.int64
+                        )
+                    kb = empty_blocks(k, B)
+                    kb[:, 0, 0] = kvals
+                    kb[:, 0, 1] = 0  # real atom
+                    return kb
 
-    def store_atoms(lo: int, order: list[int], atom_blocks) -> None:
-        for offset, src in enumerate(order):
-            j = lo + offset
-            machine.write(keys, j, atom_blocks[src][0])
-            for t in range(len(arrays)):
-                machine.write(work[t], j, atom_blocks[src][t + 1])
+                steps: list = [("r", arrays[0], idx), ("w", work[0], idx, lambda r: r[0])]
+                for t in range(1, T):
+                    steps.append(("r", arrays[t], idx))
+                    steps.append(
+                        ("w", work[t], idx, lambda r, s=2 * t: r[s])
+                    )
+                steps.append(("w", keys, idx, key_blocks))
+                machine.io_rounds(steps)
+        for lo, hi in scan_chunks(machine, size - n, streams=T + 1):
+            with hold_scan(machine, T + 1, hi - lo):
+                idx = (n + lo, n + hi)
+                k = hi - lo
+                pad_kb = empty_blocks(k, B)
+                pad_kb[:, 0, 0] = 0
+                pad_kb[:, 0, 1] = 1  # pad atom: sorts last
+                steps = [("w", w, idx, empty_blocks(k, B)) for w in work]
+                steps.append(("w", keys, idx, pad_kb))
+                machine.io_rounds(steps)
+
+    def load_run(lo: int) -> tuple[np.ndarray, np.ndarray, list[np.ndarray]]:
+        """Read ``R`` atoms starting at ``lo``: (pads, keys, per-array blocks)."""
+        idx = (lo, lo + R)
+        steps = [("r", keys, idx)] + [("r", w, idx) for w in work]
+        reads = machine.io_rounds(steps)
+        kb = reads[0]
+        return kb[:, 0, 1], kb[:, 0, 0], reads
+
+    def store_atoms(lo: int, order: np.ndarray, reads: list[np.ndarray]) -> None:
+        idx = (lo, lo + len(order))
+        steps = [("w", keys, idx, reads[0][order])] + [
+            ("w", w, idx, reads[t + 1][order]) for t, w in enumerate(work)
+        ]
+        machine.io_rounds(steps)
 
     # Phase 1: sort each run in cache.
     with machine.cache.hold(R * width):
         for run in range(num_runs):
             lo = run * R
-            atom_keys, atom_blocks = load_run(lo)
-            order = sorted(range(R), key=lambda i: atom_keys[i])
-            store_atoms(lo, order, atom_blocks)
+            pads, kvals, reads = load_run(lo)
+            order = np.lexsort((kvals, pads))
+            store_atoms(lo, order, reads)
 
     # Phase 2: Batcher merge-split over runs.
     if num_runs > 1:
@@ -147,19 +164,27 @@ def oblivious_block_sort(
                 for a, b in zip(los.tolist(), his.tolist()):
                     if b >= num_runs:
                         continue  # virtual all-pad run: no-op
-                    ka, blocks_a = load_run(a * R)
-                    kb_, blocks_b = load_run(b * R)
-                    atom_keys = ka + kb_
-                    atom_blocks = blocks_a + blocks_b
-                    order = sorted(range(2 * R), key=lambda i: atom_keys[i])
-                    store_atoms(a * R, order[:R], atom_blocks)
-                    store_atoms(b * R, order[R:], atom_blocks)
+                    pads_a, k_a, reads_a = load_run(a * R)
+                    pads_b, k_b, reads_b = load_run(b * R)
+                    both = [
+                        np.concatenate([ra, rb])
+                        for ra, rb in zip(reads_a, reads_b)
+                    ]
+                    order = np.lexsort(
+                        (np.concatenate([k_a, k_b]), np.concatenate([pads_a, pads_b]))
+                    )
+                    store_atoms(a * R, order[:R], both)
+                    store_atoms(b * R, order[R:], both)
 
     # Copy the first n atoms back.
-    with machine.cache.hold(1):
-        for j in range(n):
-            for t in range(len(arrays)):
-                machine.write(arrays[t], j, machine.read(work[t], j))
+    for lo, hi in scan_chunks(machine, n, streams=2 * T):
+        with hold_scan(machine, 2 * T, hi - lo):
+            idx = (lo, hi)
+            steps = []
+            for t in range(T):
+                steps.append(("r", work[t], idx))
+                steps.append(("w", arrays[t], idx, lambda r, s=2 * t: r[s]))
+            machine.io_rounds(steps)
     for w in work:
         machine.free(w)
     machine.free(keys)

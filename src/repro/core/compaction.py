@@ -32,10 +32,14 @@ import numpy as np
 
 from repro.core._helpers import (
     block_occupied,
+    blocks_occupied,
     concat_arrays,
     copy_array,
     copy_blocks,
     empty_block,
+    empty_blocks,
+    hold_scan,
+    scan_chunks,
 )
 from repro.core.block_sort import oblivious_block_sort
 from repro.core.thinning import thinning_rounds
@@ -176,11 +180,12 @@ def _iblt_insert_pass(
     hashes = PartitionedHashFamily(k, m_cells, seed=int(rng.integers(0, 2**62)))
     meta = machine.alloc(m_cells, f"{A.name}.iblt.meta")
     payload = machine.alloc(m_cells, f"{A.name}.iblt.data")
-    zero = np.zeros((B, RECORD_WIDTH), dtype=np.int64)
-    with machine.cache.hold(1):
-        for c in range(m_cells):
-            machine.write(meta, c, zero)
-            machine.write(payload, c, zero)
+    for lo, hi in scan_chunks(machine, m_cells, streams=2):
+        with hold_scan(machine, 2, hi - lo):
+            zeros = np.zeros((hi - lo, B, RECORD_WIDTH), dtype=np.int64)
+            machine.io_rounds(
+                [("w", meta, (lo, hi), zeros), ("w", payload, (lo, hi), zeros)]
+            )
     inserted = 0
     # Working set: the source block plus one table block at a time —
     # fits the paper's weakest model, M >= 2B.
@@ -275,12 +280,12 @@ def _peel_oram(
     oram_q = SquareRootORAM(machine, qcap, rng, name="peel.queue")
     # Output slots, pre-tagged with +inf sort keys.
     out_init_meta = machine.alloc(r, "peel.out.meta.init")
-    with machine.cache.hold(1):
-        inf = empty_block(B)
-        inf[0, 0] = _INF_KEY
-        inf[0, 1] = 0
-        for t in range(r):
-            machine.write(out_init_meta, t, inf)
+    for lo, hi in scan_chunks(machine, r):
+        with hold_scan(machine, 1, hi - lo):
+            infs = empty_blocks(hi - lo, B)
+            infs[:, 0, 0] = _INF_KEY
+            infs[:, 0, 1] = 0
+            machine.write_many(out_init_meta, (lo, hi), infs)
     oram_out_meta = SquareRootORAM(machine, r, rng, initial=out_init_meta, name="peel.out.meta")
     oram_out_pay = SquareRootORAM(machine, r, rng, name="peel.out.data")
     machine.free(out_init_meta)
@@ -411,26 +416,36 @@ def tight_compact_sparse(
         # Order-preserve: sort output slots by original index (+inf pads last).
         oblivious_block_sort(machine, [out_meta, out_pay])
         result = machine.alloc(r, f"{A.name}.sparse")
-        with machine.cache.hold(2):
-            for t in range(r):
-                mb = machine.read(out_meta, t)
-                pb = machine.read(out_pay, t)
-                if int(mb[0, 0]) < _INF_KEY:
-                    machine.write(result, t, _decode_payload(pb))
-                else:
-                    machine.write(result, t, empty_block(B))
+        for lo, hi in scan_chunks(machine, r, streams=3):
+            with hold_scan(machine, 3, hi - lo):
+
+                def assembled(reads, k=hi - lo):
+                    mb, pb = reads[0], reads[1]
+                    keep = mb[:, 0, 0] < _INF_KEY
+                    out = empty_blocks(k, B)
+                    for t in np.flatnonzero(keep):
+                        out[t] = _decode_payload(pb[t])
+                    return out
+
+                machine.io_rounds(
+                    [
+                        ("r", out_meta, (lo, hi)),
+                        ("r", out_pay, (lo, hi)),
+                        ("w", result, (lo, hi), assembled),
+                    ]
+                )
         machine.free(out_meta)
         machine.free(out_pay)
     else:
         items, ok = _peel_direct(machine, state, r)
         items.sort(key=lambda kv: kv[0])
         result = machine.alloc(r, f"{A.name}.sparse")
-        with machine.cache.hold(1):
-            for t in range(r):
-                if t < len(items):
-                    machine.write(result, t, items[t][1])
-                else:
-                    machine.write(result, t, empty_block(B))
+        for lo, hi in scan_chunks(machine, r):
+            with hold_scan(machine, 1, hi - lo):
+                stacked = empty_blocks(hi - lo, B)
+                for t in range(lo, min(hi, len(items))):
+                    stacked[t - lo] = items[t][1]
+                machine.write_many(result, (lo, hi), stacked)
     machine.free(state.meta)
     machine.free(state.payload)
     if strict and not ok:
@@ -501,20 +516,18 @@ def loose_compact(
         with machine.cache.hold(g):
             for reg in range(regions):
                 lo = reg * g
-                blocks = [
-                    machine.read(work, j) if j < n_cur else empty_block(B)
-                    for j in range(lo, lo + g)
-                ]
-                occupied = [b for b in blocks if block_occupied(b)]
+                real = min(g, n_cur - lo)
+                blocks = machine.read_many(work, (lo, lo + real))
+                occupied = blocks[blocks_occupied(blocks)]
                 if len(occupied) > half:
                     machine.free(nxt)
                     raise CompactionFailure(
                         f"region kept {len(occupied)} > {half} blocks after "
                         f"{c0} thinning rounds (Lemma 7 tail event)"
                     )
-                for t in range(half):
-                    blk = occupied[t] if t < len(occupied) else empty_block(B)
-                    machine.write(nxt, reg * half + t, blk)
+                outb = empty_blocks(half, B)
+                outb[: len(occupied)] = occupied
+                machine.write_many(nxt, (reg * half, reg * half + half), outb)
         machine.free(work)
         work = nxt
 
@@ -523,15 +536,15 @@ def loose_compact(
     E = machine.alloc(r, f"{A.name}.loose.E")
     if work.num_blocks + 1 <= m:
         with machine.cache.hold(work.num_blocks):
-            blocks = [machine.read(work, j) for j in range(work.num_blocks)]
-            occupied = [b for b in blocks if block_occupied(b)]
+            blocks = machine.read_many(work, (0, work.num_blocks))
+            occupied = blocks[blocks_occupied(blocks)]
             if len(occupied) > r:
                 raise CompactionFailure(
                     f"{len(occupied)} blocks remain for a tail of capacity {r}"
                 )
-            for t in range(r):
-                blk = occupied[t] if t < len(occupied) else empty_block(B)
-                machine.write(E, t, blk)
+            outb = empty_blocks(r, B)
+            outb[: len(occupied)] = occupied
+            machine.write_many(E, (0, r), outb)
     else:
         # Occupied-first oblivious sort, then take the first r blocks.
         oblivious_block_sort(
@@ -657,9 +670,13 @@ def loose_compact_logstar(
             # for the next phase.
             back = min(size, compacted.num_blocks)
             copy_blocks(machine, compacted, 0, work, lo, back)
-            with machine.cache.hold(1):
-                for t in range(back, size):
-                    machine.write(work, lo + t, empty_block(B))
+            for zlo, zhi in scan_chunks(machine, size - back):
+                with hold_scan(machine, 1, zhi - zlo):
+                    machine.write_many(
+                        work,
+                        (lo + back + zlo, lo + back + zhi),
+                        empty_blocks(zhi - zlo, B),
+                    )
             machine.free(compacted)
             machine.free(reg_arr)
             # Thin the compacted prefix A'_j into D_main.

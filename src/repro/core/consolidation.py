@@ -18,6 +18,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.em.batch import empty_blocks, hold_scan, scan_chunks
 from repro.em.block import NULL_KEY, RECORD_WIDTH, is_empty
 from repro.em.machine import EMMachine
 from repro.em.storage import EMArray
@@ -76,6 +77,12 @@ def consolidate(
     partial).  The relative order of distinguished records is preserved.
     Uses exactly ``A.num_blocks`` reads and ``A.num_blocks + 1`` writes —
     a plain scan, trivially data-oblivious.
+
+    The invariant the scalar formulation maintained — fewer than ``B``
+    pending records between blocks — means block ``j`` of the output is
+    full exactly when the cumulative distinguished count crosses a
+    multiple of ``B`` at ``j``; the batched form computes that cumsum per
+    chunk and carries the pending remainder across chunks.
     """
     n = A.num_blocks
     B = machine.B
@@ -83,18 +90,42 @@ def consolidate(
     pending = np.empty((0, RECORD_WIDTH), dtype=np.int64)  # < B records, in cache
     count = 0
     full_blocks = 0
-    with machine.cache.hold(3):
-        for j in range(n):
-            block = machine.read(A, j)
-            picked = block[distinguished_fn(block)]
-            count += len(picked)
-            pending = np.concatenate([pending, picked])
-            if len(pending) >= B:
-                machine.write(out, j, _pack_block(pending[:B], B))
-                pending = pending[B:]
-                full_blocks += 1
-            else:
-                machine.write(out, j, _empty_block(B))
+    for lo, hi in scan_chunks(machine, n, streams=2):
+        with hold_scan(machine, 2, hi - lo):
+
+            def packed(reads):
+                nonlocal pending, count, full_blocks
+                blocks = reads[0]
+                k = len(blocks)
+                if distinguished_fn is _nonempty:
+                    masks = ~is_empty(blocks)
+                else:
+                    masks = np.stack([
+                        np.asarray(distinguished_fn(b), dtype=bool) for b in blocks
+                    ])
+                per_block = masks.sum(axis=1)
+                count += int(per_block.sum())
+                # All distinguished records of the chunk, in scan order,
+                # with the carried-over pending prefix.
+                stream = np.concatenate(
+                    [pending, blocks.reshape(-1, RECORD_WIDTH)[masks.reshape(-1)]]
+                )
+                cum = len(pending) + np.cumsum(per_block)
+                fulls = cum // B  # full blocks emitted through position j
+                # pending < B between blocks (the function invariant), so
+                # zero full blocks have been emitted when the chunk opens.
+                prev = np.concatenate([[0], fulls[:-1]])
+                emit = fulls > prev  # block j emits exactly one full block
+                out_blocks = empty_blocks(k, B)
+                emitters = np.flatnonzero(emit)
+                for row, j in enumerate(emitters):
+                    out_blocks[j, :B] = stream[row * B : (row + 1) * B]
+                full_blocks += len(emitters)
+                pending = stream[len(emitters) * B :]
+                return out_blocks
+
+            machine.io_rounds([("r", A, (lo, hi)), ("w", out, (lo, hi), packed)])
+    with machine.cache.hold(1):
         machine.write(out, n, _pack_block(pending, B))
         if len(pending) == B:
             full_blocks += 1
@@ -139,56 +170,69 @@ def multiway_consolidate(
     B = machine.B
     rounds = -(-n // num_colors) if n else 0
     out = machine.alloc(rounds * num_colors + 2 * num_colors, f"{A.name}.colors")
-    buffers: list[np.ndarray] = [
-        np.empty((0, RECORD_WIDTH), dtype=np.int64) for _ in range(num_colors)
-    ]
+    buffers: list[list[np.ndarray]] = [[] for _ in range(num_colors)]
+    buffered = np.zeros(num_colors, dtype=np.int64)
     color_counts = np.zeros(num_colors, dtype=np.int64)
     write_pos = 0
+
+    def drain(c: int, take: int) -> np.ndarray:
+        """Pop the first ``take`` buffered records of colour ``c``."""
+        got: list[np.ndarray] = []
+        need = take
+        while need:
+            head = buffers[c][0]
+            if len(head) <= need:
+                got.append(buffers[c].pop(0))
+                need -= len(head)
+            else:
+                got.append(head[:need])
+                buffers[c][0] = head[need:]
+                need = 0
+        buffered[c] -= take
+        return np.concatenate(got) if len(got) > 1 else got[0]
+
     with machine.cache.hold(min(machine.cache.capacity_blocks, 3 * num_colors + 1)):
         for rnd in range(rounds):
             lo = rnd * num_colors
             hi = min(lo + num_colors, n)
-            for j in range(lo, hi):
-                block = machine.read(A, j)
-                real = block[~is_empty(block)]
-                if len(real) == 0:
-                    continue
+            blocks = machine.read_many(A, (lo, hi))
+            flat = blocks.reshape(-1, RECORD_WIDTH)
+            real = flat[~is_empty(flat)]
+            if len(real):
                 colors = np.asarray(color_fn(real), dtype=np.int64)
                 if np.any((colors < 0) | (colors >= num_colors)):
                     raise ValueError("color_fn produced an out-of-range colour")
                 for c in range(num_colors):
                     sel = real[colors == c]
                     if len(sel):
-                        buffers[c] = np.concatenate([buffers[c], sel])
+                        buffers[c].append(sel)
+                        buffered[c] += len(sel)
                         color_counts[c] += len(sel)
             # Emit exactly num_colors blocks: full monochromatic ones first.
+            emit = empty_blocks(num_colors, B)
             emitted = 0
             for c in range(num_colors):
-                while emitted < num_colors and len(buffers[c]) >= B:
-                    machine.write(out, write_pos, _pack_block(buffers[c][:B], B))
-                    buffers[c] = buffers[c][B:]
-                    write_pos += 1
+                while emitted < num_colors and buffered[c] >= B:
+                    emit[emitted, :B] = drain(c, B)
                     emitted += 1
-            while emitted < num_colors:
-                machine.write(out, write_pos, _empty_block(B))
-                write_pos += 1
-                emitted += 1
+            machine.write_many(out, (write_pos, write_pos + num_colors), emit)
+            write_pos += num_colors
         # Final flush: exactly 2 * num_colors blocks, as full as possible.
+        flush = empty_blocks(2 * num_colors, B)
         emitted = 0
         for c in range(num_colors):
-            while len(buffers[c]) > 0:
-                take = min(B, len(buffers[c]))
-                machine.write(out, write_pos, _pack_block(buffers[c][:take], B))
-                buffers[c] = buffers[c][take:]
-                write_pos += 1
+            while buffered[c] > 0:
+                take = int(min(B, buffered[c]))
+                if emitted < 2 * num_colors:
+                    flush[emitted, :take] = drain(c, take)
+                else:
+                    drain(c, take)
                 emitted += 1
         if emitted > 2 * num_colors:
             raise AssertionError(
                 "multiway consolidation flush invariant violated "
                 f"({emitted} > {2 * num_colors} blocks)"
             )
-        while emitted < 2 * num_colors:
-            machine.write(out, write_pos, _empty_block(B))
-            write_pos += 1
-            emitted += 1
+        machine.write_many(out, (write_pos, write_pos + 2 * num_colors), flush)
+        write_pos += 2 * num_colors
     return MultiwayConsolidationResult(out, color_counts)

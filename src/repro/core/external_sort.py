@@ -20,13 +20,18 @@ phases' access sequences are fixed functions of ``(N, M, B)``.
 Empty cells sort last (as ``+inf``), so sorting doubles as tight
 order-destroying compaction; sorting by unique keys (e.g. original
 positions) makes it order-preserving.
+
+Both phases issue whole-run batched I/O (one gather + one scatter per run
+or comparator side); the emitted trace is the scalar loop's, block by
+block.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.em.block import NULL_KEY, RECORD_WIDTH
+from repro.em.batch import empty_blocks
+from repro.em.block import RECORD_WIDTH
 from repro.em.machine import EMMachine
 from repro.em.storage import EMArray
 from repro.networks.comparator import sort_records
@@ -63,21 +68,18 @@ def oblivious_external_sort(
     num_runs = max(1, ceil_div(n, R))
     out = machine.alloc(num_runs * R, f"{A.name}.sorted")
 
-    empty = np.full((B, RECORD_WIDTH), 0, dtype=np.int64)
-    empty[:, 0] = NULL_KEY
-
     # Phase 1: form sorted runs (copying A into the padded output).
     with machine.cache.hold(R):
         for run in range(num_runs):
             lo = run * R
-            blocks = []
-            for j in range(lo, lo + R):
-                blocks.append(machine.read(A, j) if j < n else empty.copy())
-            records = np.concatenate(blocks)
-            records = sort_records(records)
-            stacked = records.reshape(R, B, RECORD_WIDTH)
-            for t in range(R):
-                machine.write(out, lo + t, stacked[t])
+            real = max(0, min(R, n - lo))
+            stacked = empty_blocks(R, B)
+            if real:
+                stacked[:real] = machine.read_many(A, (lo, lo + real))
+            records = sort_records(stacked.reshape(-1, RECORD_WIDTH))
+            machine.write_many(
+                out, (lo, lo + R), records.reshape(R, B, RECORD_WIDTH)
+            )
 
     if num_runs == 1:
         return out
@@ -89,13 +91,14 @@ def oblivious_external_sort(
             for a, b in zip(los.tolist(), his.tolist()):
                 if b >= num_runs:
                     continue  # virtual +inf run: comparator is a no-op
-                lo_a, lo_b = a * R, b * R
-                blocks_a = [machine.read(out, lo_a + t) for t in range(R)]
-                blocks_b = [machine.read(out, lo_b + t) for t in range(R)]
-                merged = sort_records(np.concatenate(blocks_a + blocks_b))
+                idx_a = (a * R, a * R + R)
+                idx_b = (b * R, b * R + R)
+                blocks_a = machine.read_many(out, idx_a)
+                blocks_b = machine.read_many(out, idx_b)
+                merged = sort_records(
+                    np.concatenate([blocks_a, blocks_b]).reshape(-1, RECORD_WIDTH)
+                )
                 stacked = merged.reshape(2 * R, B, RECORD_WIDTH)
-                for t in range(R):
-                    machine.write(out, lo_a + t, stacked[t])
-                for t in range(R):
-                    machine.write(out, lo_b + t, stacked[R + t])
+                machine.write_many(out, idx_a, stacked[:R])
+                machine.write_many(out, idx_b, stacked[R:])
     return out

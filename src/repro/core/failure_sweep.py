@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core._helpers import copy_blocks, empty_block
+from repro.core._helpers import copy_blocks, empty_blocks, hold_scan, scan_chunks
 from repro.core.block_sort import oblivious_block_sort
 from repro.core.external_sort import oblivious_external_sort
 from repro.em.block import NULL_KEY, is_empty
@@ -99,14 +99,13 @@ def failure_sweep(
 
     # 2a. Count real records per failed segment (read-only scan).
     seg_real: dict[int, int] = {}
-    with machine.cache.hold(1):
-        for p in range(cap):
-            block = machine.read(F, p)
-            if p < len(slot_segment):
+    for lo, hi in scan_chunks(machine, cap):
+        with hold_scan(machine, 1, hi - lo):
+            blocks = machine.read_many(F, (lo, hi))
+            per_block = np.count_nonzero(~is_empty(blocks), axis=1)
+            for p in range(lo, min(hi, len(slot_segment))):
                 seg = slot_segment[p]
-                seg_real[seg] = seg_real.get(seg, 0) + int(
-                    np.count_nonzero(~is_empty(block))
-                )
+                seg_real[seg] = seg_real.get(seg, 0) + int(per_block[p - lo])
 
     # 2b. Build the dummy agenda: pad each failed segment to exactly
     #     slot_count * B cells.
@@ -127,25 +126,36 @@ def failure_sweep(
     # 2c. Tagging scan: real records get composite (segment, key) keys;
     #     empty cells become dummies per the agenda, then global overflow.
     agenda_pos = 0
-    with machine.cache.hold(1):
-        for p in range(cap):
-            block = machine.read(F, p)
-            seg = slot_segment[p] if p < len(slot_segment) else 0
-            real = ~is_empty(block)
-            if np.any(block[real, 0] < 0) or np.any(block[real, 0] >= _DUMMY_MARK):
-                machine.free(F)
-                raise ValueError("sweepable keys must lie in [0, 2^41 - 1)")
-            block[real, 0] = block[real, 0] + (seg + 1) * _KEY_SPAN
-            for cell in np.flatnonzero(~real):
-                if agenda_pos < len(agenda):
-                    dseg = agenda[agenda_pos]
-                    agenda_pos += 1
-                    block[cell, 0] = (dseg + 1) * _KEY_SPAN + _DUMMY_MARK
-                    block[cell, 1] = 0
-                else:
-                    block[cell, 0] = overflow_key
-                    block[cell, 1] = 0
-            machine.write(F, p, block)
+    agenda_arr = np.asarray(agenda, dtype=np.int64)
+    seg_vec = np.zeros(cap, dtype=np.int64)
+    seg_vec[: len(slot_segment)] = slot_segment
+    for lo, hi in scan_chunks(machine, cap, streams=2):
+        with hold_scan(machine, 2, hi - lo):
+
+            def tagged(reads, lo=lo, hi=hi):
+                nonlocal agenda_pos
+                blocks = reads[0]
+                real = ~is_empty(blocks)
+                keys = blocks[..., 0]
+                if np.any(keys[real] < 0) or np.any(keys[real] >= _DUMMY_MARK):
+                    machine.free(F)
+                    raise ValueError("sweepable keys must lie in [0, 2^41 - 1)")
+                shift = (seg_vec[lo:hi] + 1) * _KEY_SPAN
+                blocks[..., 0] = np.where(real, keys + shift[:, None], keys)
+                # Empty cells, in the scalar scan's block-major order,
+                # consume the dummy agenda then turn into overflow pads.
+                flat = blocks.reshape(-1, blocks.shape[-1])
+                empties = np.flatnonzero(~real.reshape(-1))
+                take = min(len(agenda_arr) - agenda_pos, len(empties))
+                dsegs = agenda_arr[agenda_pos : agenda_pos + take]
+                flat[empties[:take], 0] = (dsegs + 1) * _KEY_SPAN + _DUMMY_MARK
+                flat[empties[:take], 1] = 0
+                flat[empties[take:], 0] = overflow_key
+                flat[empties[take:], 1] = 0
+                agenda_pos += take
+                return blocks
+
+            machine.io_rounds([("r", F, (lo, hi)), ("w", F, (lo, hi), tagged)])
     if agenda_pos != len(agenda):
         machine.free(F)
         raise SweepOverflow("not enough spare cells to pad the failed segments")
@@ -164,25 +174,33 @@ def failure_sweep(
     pad_ranks = sorted(set(range(cap)) - set(real_ranks))
     G = machine.alloc(cap, "sweep.G")
     G_rank = machine.alloc(cap, "sweep.G.rank")
-    pad_cursor = 0
-    with machine.cache.hold(3):
-        for t in range(cap):
-            block = machine.read(F_sorted, t)
-            comp = block[:, 0]
-            dummy = (comp % _KEY_SPAN == _DUMMY_MARK) | (comp >= overflow_key)
-            real = ~is_empty(block) & ~dummy
-            new = block.copy()
-            new[real, 0] = comp[real] % _KEY_SPAN
-            new[~real, 0] = NULL_KEY
-            new[~real, 1] = 0
-            machine.write(G, t, new)
-            rank_blk = empty_block(B)
-            if t < len(failed_slots):
-                rank_blk[0, 0] = real_ranks[t]
-            else:
-                rank_blk[0, 0] = pad_ranks[pad_cursor]
-                pad_cursor += 1
-            machine.write(G_rank, t, rank_blk)
+    rank_vec = np.concatenate(
+        [np.asarray(real_ranks, dtype=np.int64),
+         np.asarray(pad_ranks, dtype=np.int64)]
+    )
+    for lo, hi in scan_chunks(machine, cap, streams=3):
+        with hold_scan(machine, 3, hi - lo):
+
+            def stripped(reads):
+                blocks = reads[0]
+                comp = blocks[..., 0]
+                dummy = (comp % _KEY_SPAN == _DUMMY_MARK) | (comp >= overflow_key)
+                real = ~is_empty(blocks) & ~dummy
+                new = blocks.copy()
+                new[..., 0] = np.where(real, comp % _KEY_SPAN, NULL_KEY)
+                new[..., 1] = np.where(real, new[..., 1], 0)
+                return new
+
+            rank_blks = empty_blocks(hi - lo, B)
+            rank_blks[:, 0, 0] = rank_vec[lo:hi]
+            rank_blks[:, 0, 1] = 0
+            machine.io_rounds(
+                [
+                    ("r", F_sorted, (lo, hi)),
+                    ("w", G, (lo, hi), stripped),
+                    ("w", G_rank, (lo, hi), rank_blks),
+                ]
+            )
     machine.free(F_sorted)
 
     # 4b. Interleave pads and reals by the hidden ranks, then expand with
@@ -196,10 +214,21 @@ def failure_sweep(
     # 5. Merge: take the expanded block on failed slots, the original
     #    elsewhere (a private per-position decision inside one scan).
     out = machine.alloc(n, f"{concat.name}.swept")
-    with machine.cache.hold(3):
-        for j in range(n):
-            orig = machine.read(concat, j)
-            fixed = machine.read(expanded, j)
-            machine.write(out, j, fixed if j in failed_set else orig)
+    failed_vec = np.zeros(n, dtype=bool)
+    failed_vec[list(failed_set)] = True
+    for lo, hi in scan_chunks(machine, n, streams=3):
+        with hold_scan(machine, 3, hi - lo):
+
+            def merged(reads, lo=lo, hi=hi):
+                orig, fixed = reads[0], reads[1]
+                return np.where(failed_vec[lo:hi, None, None], fixed, orig)
+
+            machine.io_rounds(
+                [
+                    ("r", concat, (lo, hi)),
+                    ("r", expanded, (lo, hi)),
+                    ("w", out, (lo, hi), merged),
+                ]
+            )
     machine.free(expanded)
     return out

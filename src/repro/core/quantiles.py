@@ -31,10 +31,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core._helpers import hold_scan, ranked_records_scan, scan_chunks
 from repro.core.compaction import tight_compact
 from repro.core.consolidation import consolidate
 from repro.core.external_sort import oblivious_external_sort
-from repro.em.block import NULL_KEY, is_empty
+from repro.em.block import NULL_KEY, RECORD_WIDTH, is_empty
 from repro.em.errors import EMError
 from repro.errors import LasVegasFailure
 from repro.em.machine import EMMachine
@@ -62,6 +63,13 @@ class QuantileReport:
 def _target_ranks(n_items: int, q: int) -> list[int]:
     """1-based global ranks of the q quantiles: i * N / (q + 1), rounded."""
     return [max(1, min(n_items, round(i * n_items / (q + 1)))) for i in range(1, q + 1)]
+
+
+def _ranked_keys_scan(machine: EMMachine, arr: EMArray, wanted) -> dict[int, int]:
+    """Fixed-pattern scan of a sorted array returning ``{rank: key}`` for
+    the (private) 1-based ranks in ``wanted``."""
+    picked = ranked_records_scan(machine, arr, wanted)
+    return {rank: kv[0] for rank, kv in picked.items()}
 
 
 def quantiles_em(
@@ -96,8 +104,8 @@ def quantiles_em(
     # Case 1: everything fits in private memory — sort there.
     if A.num_blocks + 1 <= m:
         with machine.cache.hold(A.num_blocks):
-            records = np.concatenate(
-                [machine.read(A, j) for j in range(A.num_blocks)]
+            records = machine.read_many(A, (0, A.num_blocks)).reshape(
+                -1, RECORD_WIDTH
             )
             ordered = sort_records(records)
             real = ordered[~is_empty(ordered)]
@@ -111,16 +119,25 @@ def quantiles_em(
     cap_sample = int(math.ceil((n**0.75 + n**0.5) * slack))
     sample_out = machine.alloc(A.num_blocks, f"{A.name}.qsample")
     c_s = 0
-    with machine.cache.hold(2):
-        for j in range(A.num_blocks):
-            block = machine.read(A, j)
-            draws = rng.random(machine.B) < p
-            keep = draws & ~is_empty(block)
-            c_s += int(np.count_nonzero(keep))
-            new = block.copy()
-            new[~keep, 0] = NULL_KEY
-            new[~keep, 1] = 0
-            machine.write(sample_out, j, new)
+    for lo, hi in scan_chunks(machine, A.num_blocks, streams=2):
+        with hold_scan(machine, 2, hi - lo):
+
+            def sampled(reads, k=hi - lo):
+                nonlocal c_s
+                blocks = reads[0]
+                # One row of draws per block: identical to the scalar
+                # per-block rng.random(B) stream, in scan order.
+                draws = rng.random((k, machine.B)) < p
+                keep = draws & ~is_empty(blocks)
+                c_s += int(np.count_nonzero(keep))
+                new = blocks.copy()
+                new[..., 0] = np.where(keep, new[..., 0], NULL_KEY)
+                new[..., 1] = np.where(keep, new[..., 1], 0)
+                return new
+
+            machine.io_rounds(
+                [("r", A, (lo, hi)), ("w", sample_out, (lo, hi), sampled)]
+            )
     if not (1 <= c_s <= cap_sample):
         machine.free(sample_out)
         raise QuantileFailure(
@@ -145,15 +162,7 @@ def quantiles_em(
     wanted = sorted(
         {r for pair in rank_pairs for r in pair if 1 <= r <= c_s}
     )
-    found: dict[int, int] = {}
-    seen = 0
-    with machine.cache.hold(1):
-        for j in range(C_sorted.num_blocks):
-            block = machine.read(C_sorted, j)
-            for rec in block[~is_empty(block)]:
-                seen += 1
-                if seen in wanted:
-                    found[seen] = int(rec[0])
+    found = _ranked_keys_scan(machine, C_sorted, wanted)
     machine.free(C_sorted)
 
     KEY_MIN, KEY_MAX = -(1 << 62), 1 << 62
@@ -181,25 +190,34 @@ def quantiles_em(
     c_marked = 0
     ys = np.asarray(y_sorted, dtype=np.int64)
     xs = np.asarray([b[0] for b in brackets], dtype=np.int64)
-    with machine.cache.hold(2):
-        for j in range(A.num_blocks):
-            block = machine.read(A, j)
-            real = ~is_empty(block)
-            keys = block[:, 0]
-            # First bracket whose upper end covers the key (vectorized).
-            kv = keys[real]
-            idx = np.searchsorted(ys, kv)
-            idx_clip = np.minimum(idx, q - 1)
-            keep = (idx < q) & (kv >= xs[idx_clip])
-            in_bracket += np.bincount(idx_clip[keep], minlength=q)
-            gap_before += np.bincount(np.minimum(idx[~keep], q), minlength=q + 1)
-            keep_mask = np.zeros(len(block), dtype=bool)
-            keep_mask[np.flatnonzero(real)] = keep
-            c_marked += int(np.count_nonzero(keep_mask))
-            new = block.copy()
-            new[~keep_mask, 0] = NULL_KEY
-            new[~keep_mask, 1] = 0
-            machine.write(marked, j, new)
+    for lo, hi in scan_chunks(machine, A.num_blocks, streams=2):
+        with hold_scan(machine, 2, hi - lo):
+
+            def classified(reads):
+                nonlocal c_marked, in_bracket, gap_before
+                blocks = reads[0]
+                real = ~is_empty(blocks)
+                keys = blocks[..., 0]
+                # First bracket whose upper end covers the key (vectorized).
+                kv = keys[real]
+                bidx = np.searchsorted(ys, kv)
+                idx_clip = np.minimum(bidx, q - 1)
+                keep = (bidx < q) & (kv >= xs[idx_clip])
+                in_bracket += np.bincount(idx_clip[keep], minlength=q)
+                gap_before += np.bincount(
+                    np.minimum(bidx[~keep], q), minlength=q + 1
+                )
+                keep_mask = np.zeros(real.shape, dtype=bool)
+                keep_mask[real] = keep
+                c_marked += int(np.count_nonzero(keep_mask))
+                new = blocks.copy()
+                new[..., 0] = np.where(keep_mask, new[..., 0], NULL_KEY)
+                new[..., 1] = np.where(keep_mask, new[..., 1], 0)
+                return new
+
+            machine.io_rounds(
+                [("r", A, (lo, hi)), ("w", marked, (lo, hi), classified)]
+            )
 
     cap_marked = int(math.ceil(min(n, 8 * q * n**0.75) * slack))
     if c_marked > cap_marked:
@@ -239,15 +257,7 @@ def quantiles_em(
             )
         local_targets.append(int(t - cum_gap[b]))  # rank within sorted D
     pick = sorted(set(local_targets))
-    got: dict[int, int] = {}
-    seen = 0
-    with machine.cache.hold(1):
-        for j in range(D_sorted.num_blocks):
-            block = machine.read(D_sorted, j)
-            for rec in block[~is_empty(block)]:
-                seen += 1
-                if seen in pick:
-                    got[seen] = int(rec[0])
+    got = _ranked_keys_scan(machine, D_sorted, pick)
     machine.free(D_sorted)
     keys = np.array([got[t] for t in local_targets], dtype=np.int64)
     if report:

@@ -31,7 +31,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core._helpers import empty_block
+from repro.core._helpers import hold_scan, ranked_records_scan, scan_chunks
 from repro.core.compaction import tight_compact, tight_compact_sparse
 from repro.core.consolidation import consolidate
 from repro.core.external_sort import oblivious_external_sort
@@ -68,10 +68,10 @@ def _scan_min_max_count(
 ) -> tuple[int, int, int]:
     """One scan: (min key, max key, number of real items) — all private."""
     lo, hi, count = None, None, 0
-    with machine.cache.hold(1):
-        for j in range(A.num_blocks):
-            block = machine.read(A, j)
-            keys = block[~is_empty(block)][:, 0]
+    for clo, chi in scan_chunks(machine, A.num_blocks):
+        with hold_scan(machine, 1, chi - clo):
+            blocks = machine.read_many(A, (clo, chi))
+            keys = blocks[..., 0][~is_empty(blocks)]
             if len(keys):
                 count += len(keys)
                 blk_lo, blk_hi = int(keys.min()), int(keys.max())
@@ -92,17 +92,25 @@ def _mark_scan(
     become empty.  Returns (marked array, private count kept)."""
     out = machine.alloc(A.num_blocks, name)
     kept = 0
-    with machine.cache.hold(2):
-        for j in range(A.num_blocks):
-            block = machine.read(A, j)
-            mask = ~is_empty(block)
-            keep = mask & keep_fn(block)
-            kept += int(np.count_nonzero(keep))
-            new = block.copy()
-            drop = ~keep
-            new[drop, 0] = NULL_KEY
-            new[drop, 1] = 0
-            machine.write(out, j, new)
+    for lo, hi in scan_chunks(machine, A.num_blocks, streams=2):
+        with hold_scan(machine, 2, hi - lo):
+
+            def marked(reads):
+                nonlocal kept
+                blocks = reads[0]
+                # keep_fn is called once per block, in scan order — it may
+                # consume caller randomness (the Bernoulli sampling scan).
+                keep = np.stack([
+                    ~is_empty(b) & np.asarray(keep_fn(b), dtype=bool)
+                    for b in blocks
+                ])
+                kept += int(np.count_nonzero(keep))
+                new = blocks.copy()
+                new[..., 0] = np.where(keep, new[..., 0], NULL_KEY)
+                new[..., 1] = np.where(keep, new[..., 1], 0)
+                return new
+
+            machine.io_rounds([("r", A, (lo, hi)), ("w", out, (lo, hi), marked)])
     return out, kept
 
 
@@ -135,17 +143,7 @@ def _sorted_rank_pick(
 ) -> list[tuple[int, int] | None]:
     """Scan a sorted array picking the records at the given 1-based ranks
     (private positions; the scan pattern is fixed)."""
-    want = sorted(set(r for r in ranks if r >= 1))
-    found: dict[int, tuple[int, int]] = {}
-    seen = 0
-    with machine.cache.hold(1):
-        for j in range(arr.num_blocks):
-            block = machine.read(arr, j)
-            real = block[~is_empty(block)]
-            for rec in real:
-                seen += 1
-                if seen in want:
-                    found[seen] = (int(rec[0]), int(rec[1]))
+    found = ranked_records_scan(machine, arr, ranks)
     return [found.get(r) if r >= 1 else None for r in ranks]
 
 

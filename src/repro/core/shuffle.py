@@ -20,8 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core._helpers import block_occupied, empty_block
-from repro.em.block import is_empty
+from repro.core._helpers import blocks_occupied, empty_block, hold_scan, scan_chunks
 from repro.em.errors import EMError
 from repro.errors import LasVegasFailure
 from repro.em.machine import EMMachine
@@ -46,19 +45,18 @@ def knuth_block_shuffle(
     For each ``i`` the partner ``j`` is drawn uniformly from ``[i, n)``
     from Alice's randomness; both blocks are read and rewritten even when
     ``i == j``.  ``2n`` reads + ``2n`` writes; the sequence of positions
-    is independent of the data.
+    is independent of the data.  Swaps are issued through
+    :meth:`~repro.em.machine.EMMachine.swap_many`, which applies the
+    composed permutation in bulk while emitting the per-swap trace.
     """
     n = A.num_blocks
     if n <= 1:
         return
-    partners = [int(rng.integers(i, n)) for i in range(n)]
-    with machine.cache.hold(2):
-        for i in range(n):
-            j = partners[i]
-            bi = machine.read(A, i)
-            bj = machine.read(A, j)
-            machine.write(A, i, bj)
-            machine.write(A, j, bi)
+    partners = np.array([int(rng.integers(i, n)) for i in range(n)], dtype=np.int64)
+    idx = np.arange(n, dtype=np.int64)
+    for lo, hi in scan_chunks(machine, n, streams=2):
+        with hold_scan(machine, 2, hi - lo):
+            machine.swap_many(A, idx[lo:hi], partners[lo:hi])
 
 
 @dataclass
@@ -126,23 +124,25 @@ def shuffle_and_deal(
         for batch in range(num_batches):
             lo = batch * batch_blocks
             hi = min(lo + batch_blocks, n)
+            blocks = machine.read_many(A, (lo, hi))
+            occ = blocks_occupied(blocks)
             groups: list[list[np.ndarray]] = [[] for _ in range(num_colors)]
-            for j in range(lo, hi):
-                block = machine.read(A, j)
-                if block_occupied(block):
-                    c = int(color_of_block(block))
-                    if not (0 <= c < num_colors):
-                        raise ValueError(f"colour {c} out of range")
-                    groups[c].append(block)
+            for block in blocks[occ]:
+                c = int(color_of_block(block))
+                if not (0 <= c < num_colors):
+                    raise ValueError(f"colour {c} out of range")
+                groups[c].append(block)
+            base = batch * per_color_slots
+            slot_idx = (base, base + per_color_slots)
             for c in range(num_colors):
                 if len(groups[c]) > per_color_slots:
                     raise DealOverflow(
                         f"batch {batch} holds {len(groups[c])} blocks of "
                         f"colour {c} > {per_color_slots} slots (Lemma 18 tail)"
                     )
-                base = batch * per_color_slots
-                for t in range(per_color_slots):
-                    blk = groups[c][t] if t < len(groups[c]) else pad
-                    machine.write(arrays[c], base + t, blk)
+                stacked = np.stack(
+                    groups[c] + [pad] * (per_color_slots - len(groups[c]))
+                )
+                machine.write_many(arrays[c], slot_idx, stacked)
                 occupied[c] += len(groups[c])
     return DealResult(arrays=arrays, occupied=occupied)

@@ -32,12 +32,11 @@ retries with fresh randomness — each attempt individually oblivious.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core._helpers import block_occupied, concat_arrays, copy_blocks, empty_block
+from repro.core._helpers import concat_arrays, hold_scan, scan_chunks
 from repro.core.compaction import (
     CompactionFailure,
     loose_compact,
@@ -49,7 +48,7 @@ from repro.core.external_sort import oblivious_external_sort
 from repro.core.failure_sweep import SweepOverflow, failure_sweep
 from repro.core.quantiles import QuantileFailure, quantiles_em
 from repro.core.shuffle import DealOverflow, shuffle_and_deal
-from repro.em.block import NULL_KEY, RECORD_WIDTH, is_empty
+from repro.em.block import RECORD_WIDTH, is_empty
 from repro.em.errors import EMError
 from repro.errors import LasVegasFailure
 from repro.em.machine import EMMachine
@@ -83,14 +82,16 @@ def _check_sorted_scan(machine: EMMachine, A: EMArray) -> bool:
     non-decreasing key order?  Fixed-pattern scan."""
     prev = None
     ok = True
-    with machine.cache.hold(1):
-        for j in range(A.num_blocks):
-            block = machine.read(A, j)
-            keys = block[~is_empty(block)][:, 0]
-            for key in keys:
-                if prev is not None and key < prev:
+    for lo, hi in scan_chunks(machine, A.num_blocks):
+        with hold_scan(machine, 1, hi - lo):
+            blocks = machine.read_many(A, (lo, hi))
+            keys = blocks[..., 0][~is_empty(blocks)]
+            if len(keys):
+                if np.any(np.diff(keys) < 0):
                     ok = False
-                prev = key
+                if prev is not None and keys[0] < prev:
+                    ok = False
+                prev = int(keys[-1])
     return ok
 
 
@@ -100,10 +101,9 @@ def _sort_in_cache(machine: EMMachine, A: EMArray) -> EMArray:
     B = machine.B
     out = machine.alloc(n, f"{A.name}.base")
     with machine.cache.hold(n + 1):
-        records = np.concatenate([machine.read(A, j) for j in range(n)])
+        records = machine.read_many(A, (0, n)).reshape(-1, RECORD_WIDTH)
         ordered = sort_records(records).reshape(n, B, RECORD_WIDTH)
-        for j in range(n):
-            machine.write(out, j, ordered[j])
+        machine.write_many(out, (0, n), ordered)
     return out
 
 
@@ -232,32 +232,43 @@ def _distinctify(
     out = machine.alloc(A.num_blocks, f"{A.name}.tagged")
     pos = 0
     limit = (1 << 62) // span
-    with machine.cache.hold(2):
-        for j in range(A.num_blocks):
-            block = machine.read(A, j)
-            real = ~is_empty(block)
-            keys = block[real, 0]
-            if len(keys) and (keys.min() < 0 or keys.max() >= limit):
-                machine.free(out)
-                raise ValueError(
-                    f"sortable keys must lie in [0, {limit}) for N={n_items}"
+    for lo, hi in scan_chunks(machine, A.num_blocks, streams=2):
+        with hold_scan(machine, 2, hi - lo):
+
+            def tagged(reads):
+                nonlocal pos
+                blocks = reads[0]
+                real = ~is_empty(blocks)
+                keys = blocks[..., 0][real]
+                if len(keys) and (keys.min() < 0 or keys.max() >= limit):
+                    machine.free(out)
+                    raise ValueError(
+                        f"sortable keys must lie in [0, {limit}) for N={n_items}"
+                    )
+                count = int(np.count_nonzero(real))
+                new = blocks.copy()
+                new[..., 0][real] = keys * span + np.arange(
+                    pos, pos + count, dtype=np.int64
                 )
-            new = block.copy()
-            count = int(np.count_nonzero(real))
-            new[real, 0] = keys * span + np.arange(pos, pos + count)
-            pos += count
-            machine.write(out, j, new)
+                pos += count
+                return new
+
+            machine.io_rounds([("r", A, (lo, hi)), ("w", out, (lo, hi), tagged)])
     return out, _KeySpace(span=span, max_key=limit)
 
 
 def _undistinctify(machine: EMMachine, A: EMArray, span: int) -> None:
     """Inverse of :func:`_distinctify`, in place."""
-    with machine.cache.hold(1):
-        for j in range(A.num_blocks):
-            block = machine.read(A, j)
-            real = ~is_empty(block)
-            block[real, 0] = block[real, 0] // span
-            machine.write(A, j, block)
+    for lo, hi in scan_chunks(machine, A.num_blocks, streams=2):
+        with hold_scan(machine, 2, hi - lo):
+
+            def untagged(reads):
+                blocks = reads[0]
+                real = ~is_empty(blocks)
+                blocks[..., 0][real] = blocks[..., 0][real] // span
+                return blocks
+
+            machine.io_rounds([("r", A, (lo, hi)), ("w", A, (lo, hi), untagged)])
 
 
 def oblivious_sort(

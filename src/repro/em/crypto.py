@@ -44,6 +44,32 @@ class CiphertextVersions:
         self._versions[index] = self._clock
         return self._clock
 
+    def reencrypt_many(self, indices: np.ndarray) -> None:
+        """Record a fresh ciphertext for every index, in sequence order.
+
+        Equivalent to calling :meth:`reencrypt` once per entry of
+        ``indices``: the clock advances by ``len(indices)`` and duplicate
+        indices keep the version of their *last* write.
+        """
+        indices = np.asarray(indices, dtype=np.int64).ravel()
+        k = len(indices)
+        if k == 0:
+            return
+        self._versions[indices] = np.arange(
+            self._clock + 1, self._clock + k + 1, dtype=np.int64
+        )
+        self._clock += k
+
+    def reencrypt_range(self, lo: int, hi: int, step: int = 1) -> None:
+        """:meth:`reencrypt_many` for the (strided) range ``[lo, hi)``."""
+        k = len(range(lo, hi, step)) if hi > lo else 0
+        if k <= 0:
+            return
+        self._versions[lo:hi:step] = np.arange(
+            self._clock + 1, self._clock + k + 1, dtype=np.int64
+        )
+        self._clock += k
+
     def version(self, index: int) -> int:
         """Return the current version of block ``index`` (adversary-visible)."""
         return int(self._versions[index])

@@ -3,15 +3,45 @@
 ``EMMachine(M, B)`` bundles the client cache, the server-side arrays, the
 I/O counters and the access trace.  Every algorithm in the library takes a
 machine (or an array belonging to one) and performs all server access via
-:meth:`read` / :meth:`write`, so I/O counts and traces are complete by
-construction.
+:meth:`read` / :meth:`write` or their batched counterparts, so I/O counts
+and traces are complete by construction.
+
+The batched engine
+------------------
+
+The scalar :meth:`read`/:meth:`write` pair models one I/O per Python call;
+at scale the interpreter overhead of that call dominates the simulation.
+The batched entry points amortize it into vectorized gather/scatter
+kernels (:meth:`repro.em.storage.StorageBackend.gather` / ``scatter``)
+while emitting *exactly* the event sequence the equivalent scalar loop
+would have produced:
+
+* :meth:`read_many` / :meth:`write_many` — one operation over many
+  indices, events in index order;
+* :meth:`copy_many` — the fused ``write(dst, read(src))`` loop, events
+  interleaved ``R, W, R, W, ...``;
+* :meth:`swap_many` — the fused sequential swap loop of the Knuth
+  shuffle, events ``R i, R j, W i, W j`` per pair;
+* :meth:`io_rounds` — the general form: ``t`` parallel I/O streams
+  interleaved round-robin, exactly the trace of a scalar loop running one
+  operation per stream per iteration.
+
+Because the trace and the counters are identical to the scalar
+formulation, obliviousness arguments transfer verbatim.  The *modeled*
+private-memory residency is what the cache leases account for — the
+algorithm's claim of how many blocks it holds at once, which the scans
+keep within ``M/B``.  The engine itself may stage more blocks physically
+while replaying a fixed event pattern (the same affordance the
+historical ``read_range`` provided); that is a simulation detail, never
+part of the model.
 """
 
 from __future__ import annotations
 
+import warnings
 from contextlib import AbstractContextManager, contextmanager
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Sequence
 
 import numpy as np
 
@@ -21,19 +51,52 @@ from repro.em.errors import EMError
 from repro.em.storage import EMArray, MemoryBackend, StorageBackend
 from repro.em.trace import AccessTrace, Op
 
-__all__ = ["EMMachine", "IOMeter"]
+__all__ = ["EMMachine", "IOMeter", "IOStep"]
+
+#: One stream of a fused :meth:`EMMachine.io_rounds` batch: ``("r", arr,
+#: indices)`` or ``("w", arr, indices, blocks_or_fn)``.
+IOStep = tuple
+
+_OP_READ = int(Op.READ)
+_OP_WRITE = int(Op.WRITE)
+
+#: Memoized 0..k-1 round-number columns for trace-row building.  The
+#: cached arrays are only ever used as read-only operands.
+_ROUND_NUMBERS: dict[int, np.ndarray] = {}
+
+
+def _round_numbers(k: int) -> np.ndarray:
+    arr = _ROUND_NUMBERS.get(k)
+    if arr is None:
+        arr = np.arange(k, dtype=np.int64)
+        if len(_ROUND_NUMBERS) > 512:
+            _ROUND_NUMBERS.clear()
+        _ROUND_NUMBERS[k] = arr
+    return arr
 
 
 @dataclass
 class IOMeter:
-    """Counts of I/Os observed between two points in time."""
+    """Counts of I/Os observed between two points in time.
+
+    ``batches``/``batched_ios`` describe how much of the traffic went
+    through the batched engine (one "batch" per bulk call; ``batched_ios``
+    is the number of I/Os those calls covered).
+    """
 
     reads: int = 0
     writes: int = 0
+    batches: int = 0
+    batched_ios: int = 0
 
     @property
     def total(self) -> int:
         return self.reads + self.writes
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Average I/Os per batched call (0.0 when nothing was batched)."""
+        return self.batched_ios / self.batches if self.batches else 0.0
 
 
 class EMMachine:
@@ -75,6 +138,8 @@ class EMMachine:
         self.backend = backend if backend is not None else MemoryBackend()
         self.reads = 0
         self.writes = 0
+        self.batch_count = 0
+        self.batched_io_count = 0
         self._arrays: dict[int, EMArray] = {}
         self._next_id = 0
 
@@ -123,7 +188,7 @@ class EMMachine:
         self.backend.release(arr._data)
         self.trace.record(Op.FREE, arr.array_id, arr.num_blocks)
 
-    # -- block I/O ----------------------------------------------------------
+    # -- scalar block I/O --------------------------------------------------
 
     def read(self, arr: EMArray, index: int) -> np.ndarray:
         """Read block ``index`` of ``arr`` into private memory (1 I/O)."""
@@ -145,26 +210,300 @@ class EMMachine:
         self.writes += 1
         self.trace.record(Op.WRITE, arr.array_id, index)
 
+    # -- batched block I/O -------------------------------------------------
+    #
+    # Every batched entry point accepts either an explicit 1-D int64 index
+    # array or a contiguous ``(lo, hi)`` tuple.  Ranges are the fast path:
+    # O(1) bounds checks and slice-based gather/scatter instead of fancy
+    # indexing — the dominant case, since hot loops scan in chunks.
+
+    def read_many(self, arr: EMArray, indices) -> np.ndarray:
+        """Read the indexed blocks (``k`` I/Os) as ``(k, B, 2)``.
+
+        ``indices`` is a 1-D index array or a ``(lo, hi)`` range tuple.
+        The trace records one READ per index, in index order — identical
+        to a scalar ``read`` loop.  Callers must chunk requests so the
+        returned blocks fit the private memory they have reserved.
+        """
+        self._own(arr)
+        if type(indices) is tuple:
+            lo, hi, step = indices if len(indices) == 3 else (*indices, 1)
+            idx = None
+            blocks = arr._gather_range(lo, hi, step)
+            k = len(blocks)
+        else:
+            idx = self._as_indices(indices)
+            blocks = arr._gather(idx)
+            k = len(idx)
+        self.reads += k
+        self._count_batch(k)
+        if self.trace.enabled and k:
+            rows = np.empty((k, 3), dtype=np.int64)
+            rows[:, 0] = _OP_READ
+            rows[:, 1] = arr.array_id
+            rows[:, 2] = idx if idx is not None else np.arange(lo, hi, step)
+            self.trace.append_rows(rows)
+        return blocks
+
+    def write_many(self, arr: EMArray, indices, blocks: np.ndarray) -> None:
+        """Write ``blocks[t]`` to block ``indices[t]`` (``k`` I/Os).
+
+        One WRITE event per index, in index order; duplicate indices
+        behave like the equivalent sequential loop (last write wins).
+        """
+        self._own(arr)
+        blocks = np.asarray(blocks, dtype=np.int64)
+        if type(indices) is tuple:
+            lo, hi, step = indices if len(indices) == 3 else (*indices, 1)
+            idx = None
+            arr._scatter_range(lo, hi, blocks, step)
+            k = len(blocks)
+        else:
+            idx = self._as_indices(indices)
+            arr._scatter(idx, blocks)
+            k = len(idx)
+        self.writes += k
+        self._count_batch(k)
+        if self.trace.enabled and k:
+            rows = np.empty((k, 3), dtype=np.int64)
+            rows[:, 0] = _OP_WRITE
+            rows[:, 1] = arr.array_id
+            rows[:, 2] = idx if idx is not None else np.arange(lo, hi, step)
+            self.trace.append_rows(rows)
+
+    def copy_many(self, src: EMArray, src_indices, dst: EMArray, dst_indices) -> None:
+        """Fused ``write(dst, d[t], read(src, s[t]))`` loop (``2k`` I/Os).
+
+        Trace: ``R src s[0], W dst d[0], R src s[1], W dst d[1], ...`` —
+        byte-identical to the scalar copy loop.  ``src`` and ``dst`` may
+        be the same array as long as no destination index is also a
+        *later* source index (the gather happens before the scatter).
+        """
+        self._own(src)
+        self._own(dst)
+        if type(src_indices) is tuple:
+            s_lo, s_hi, s_st = (
+                src_indices if len(src_indices) == 3 else (*src_indices, 1)
+            )
+            sidx = None
+            blocks = src._gather_range(s_lo, s_hi, s_st)
+            k = len(blocks)
+        else:
+            sidx = self._as_indices(src_indices)
+            blocks = src._gather(sidx)
+            k = len(sidx)
+        if type(dst_indices) is tuple:
+            d_lo, d_hi, d_st = (
+                dst_indices if len(dst_indices) == 3 else (*dst_indices, 1)
+            )
+            didx = None
+            dst._scatter_range(d_lo, d_hi, blocks, d_st)
+        else:
+            didx = self._as_indices(dst_indices)
+            if len(didx) != k:
+                raise ValueError(
+                    f"source and destination counts differ ({k} != {len(didx)})"
+                )
+            dst._scatter(didx, blocks)
+        self.reads += k
+        self.writes += k
+        self._count_batch(2 * k)
+        if self.trace.enabled and k:
+            rows = np.empty((2 * k, 3), dtype=np.int64)
+            rows[0::2, 0] = _OP_READ
+            rows[1::2, 0] = _OP_WRITE
+            rows[0::2, 1] = src.array_id
+            rows[1::2, 1] = dst.array_id
+            rows[0::2, 2] = (
+                sidx if sidx is not None else np.arange(s_lo, s_hi, s_st)
+            )
+            rows[1::2, 2] = (
+                didx if didx is not None else np.arange(d_lo, d_hi, d_st)
+            )
+            self.trace.append_rows(rows)
+
+    def swap_many(self, arr: EMArray, left, right) -> None:
+        """Fused sequential swap loop: for each ``t``, swap blocks
+        ``left[t]`` and ``right[t]`` of ``arr`` (``4k`` I/Os).
+
+        Semantics are *sequential*: swap ``t`` observes the effect of
+        swaps ``0..t-1`` (the Knuth-shuffle contract).  The engine applies
+        the composed permutation in one gather/scatter; the trace is the
+        scalar loop's ``R l, R r, W l, W r`` per pair and every touched
+        position is re-encrypted per write, in write order.
+        """
+        self._own(arr)
+        if type(left) is tuple:
+            left = np.arange(*left, dtype=np.int64)
+        if type(right) is tuple:
+            right = np.arange(*right, dtype=np.int64)
+        lidx = self._as_indices(left)
+        ridx = self._as_indices(right)
+        if len(lidx) != len(ridx):
+            raise ValueError(
+                f"left and right counts differ ({len(lidx)} != {len(ridx)})"
+            )
+        k = len(lidx)
+        if k == 0:
+            return
+        arr._check_many(lidx)
+        arr._check_many(ridx)
+        uniq, inv = np.unique(np.concatenate([lidx, ridx]), return_inverse=True)
+        values = arr.backend.gather(arr._data, uniq)
+        # Compose the swaps on private index labels (cheap ints, no block
+        # movement), then apply the permutation to the gathered blocks.
+        cur = np.arange(len(uniq), dtype=np.int64)
+        li, ri = inv[:k], inv[k:]
+        for t in range(k):
+            a, b = li[t], ri[t]
+            cur[a], cur[b] = cur[b], cur[a]
+        arr.backend.scatter(arr._data, uniq, values[cur])
+        widx = np.empty(2 * k, dtype=np.int64)
+        widx[0::2] = lidx
+        widx[1::2] = ridx
+        arr.versions.reencrypt_many(widx)
+        self.reads += 2 * k
+        self.writes += 2 * k
+        self._count_batch(4 * k)
+        if self.trace.enabled:
+            ops = np.empty(4 * k, dtype=np.int64)
+            ops[0::4] = int(Op.READ)
+            ops[1::4] = int(Op.READ)
+            ops[2::4] = int(Op.WRITE)
+            ops[3::4] = int(Op.WRITE)
+            idx = np.empty(4 * k, dtype=np.int64)
+            idx[0::4] = lidx
+            idx[1::4] = ridx
+            idx[2::4] = lidx
+            idx[3::4] = ridx
+            self.trace.record_events(ops, arr.array_id, idx)
+
+    def io_rounds(self, steps: Sequence[IOStep]) -> list[np.ndarray | None]:
+        """Run ``t`` parallel I/O streams interleaved round-robin.
+
+        ``steps`` is a sequence of ``("r", arr, indices)`` read streams
+        and ``("w", arr, indices, blocks)`` write streams whose index
+        arrays (1-D int64, or contiguous ``(lo, hi)`` tuples) all share
+        one length ``k``.  The emitted events are::
+
+            step0[0], step1[0], ..., stepT[0], step0[1], step1[1], ...
+
+        — exactly the trace of the scalar loop ``for j in range(k): <one
+        op per stream>``, which is how every rewritten hot loop proves its
+        transcript unchanged.
+
+        A write stream's ``blocks`` may be a ``(k, B, 2)`` array or a
+        callable ``fn(reads) -> (k, B, 2)`` invoked after all gathers,
+        where ``reads`` is this function's return value (entries are the
+        gathered blocks for read streams, ``None`` for write streams).
+        All reads observe the machine state *before* the call; a caller
+        whose later rounds depend on earlier rounds' writes must
+        compensate in the payload callable (see ``thinning_pass``) or
+        split the batch.
+
+        If a payload callable raises, the whole batch is abandoned —
+        nothing is counted or traced.  Error transcripts therefore are
+        not byte-stable against the scalar engine (which recorded events
+        up to the failing block); every such error aborts the attempt,
+        so only success transcripts carry obliviousness claims.
+
+        Returns the per-step list of gathered read results.
+        """
+        if not steps:
+            return []
+        k = -1
+        all_ranges = True
+        parsed: list[list] = []
+        for step in steps:
+            kind = step[0]
+            if kind not in ("r", "w"):
+                raise ValueError(f"unknown io_rounds step kind {kind!r}")
+            arr = step[1]
+            self._own(arr)
+            indices = step[2]
+            if type(indices) is tuple:
+                lo, hi, st = indices if len(indices) == 3 else (*indices, 1)
+                idx = None
+                if st == 1:
+                    kk = hi - lo if hi > lo else 0
+                else:
+                    kk = len(range(lo, hi, st)) if hi > lo else 0
+            else:
+                idx = self._as_indices(indices)
+                lo = hi = 0
+                st = 1
+                kk = len(idx)
+                all_ranges = False
+            if k < 0:
+                k = kk
+            elif kk != k:
+                raise ValueError(
+                    f"io_rounds streams disagree on length ({kk} != {k})"
+                )
+            payload = step[3] if kind == "w" else None
+            parsed.append([kind, arr, lo, hi, st, idx, payload])
+        if k == 0:
+            return [None for _ in parsed]
+
+        results: list[np.ndarray | None] = []
+        n_reads = n_writes = 0
+        for kind, arr, lo, hi, st, idx, _ in parsed:
+            if kind == "r":
+                results.append(
+                    arr._gather_range(lo, hi, st) if idx is None else arr._gather(idx)
+                )
+                n_reads += k
+            else:
+                results.append(None)
+                n_writes += k
+        for kind, arr, lo, hi, st, idx, payload in parsed:
+            if kind != "w":
+                continue
+            blocks = payload(results) if callable(payload) else payload
+            blocks = np.asarray(blocks, dtype=np.int64)
+            if idx is None:
+                arr._scatter_range(lo, hi, blocks, st)
+            else:
+                arr._scatter(idx, blocks)
+        self.reads += n_reads
+        self.writes += n_writes
+        self._count_batch(k * len(parsed))
+        if self.trace.enabled:
+            t = len(parsed)
+            rows = np.empty((k, t, 3), dtype=np.int64)
+            rows[:, :, 0] = np.array(
+                [_OP_READ if p[0] == "r" else _OP_WRITE for p in parsed],
+                dtype=np.int64,
+            )
+            rows[:, :, 1] = np.array(
+                [p[1].array_id for p in parsed], dtype=np.int64
+            )
+            if all_ranges:
+                # All-range batch: one broadcast build of every index.
+                rows[:, :, 2] = _round_numbers(k)[:, None] * np.array(
+                    [p[4] for p in parsed], dtype=np.int64
+                ) + np.array([p[2] for p in parsed], dtype=np.int64)
+            else:
+                for s, (kind, arr, lo, hi, st, idx, _) in enumerate(parsed):
+                    rows[:, s, 2] = (
+                        idx if idx is not None else np.arange(lo, hi, st)
+                    )
+            self.trace.append_rows(rows.reshape(-1, 3))
+        return results
+
     def read_range(self, arr: EMArray, start: int, count: int) -> np.ndarray:
         """Read ``count`` consecutive blocks (``count`` I/Os) as one array.
 
-        Returns shape ``(count, B, 2)``.  The trace records each block read
+        Returns shape ``(count, B, 2)``.  A thin wrapper over
+        :meth:`read_many`; the trace records each block read
         individually, as the adversary would see them.
         """
-        self._own(arr)
-        if count < 0 or start < 0 or start + count > arr.num_blocks:
-            arr._check(start)
-            arr._check(start + count - 1)
-        out = arr._data[start : start + count].copy()
-        self.reads += count
-        if self.trace.enabled:
-            for i in range(start, start + count):
-                self.trace.record(Op.READ, arr.array_id, i)
-        return out
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        return self.read_many(arr, (start, start + count))
 
     def write_range(self, arr: EMArray, start: int, blocks: np.ndarray) -> None:
         """Write consecutive ``blocks`` starting at ``start`` (len I/Os)."""
-        self._own(arr)
         blocks = np.asarray(blocks, dtype=np.int64)
         if blocks.ndim != 3 or blocks.shape[1:] != (self.B, RECORD_WIDTH):
             raise ValueError(
@@ -172,42 +511,44 @@ class EMMachine:
                 f"got {blocks.shape}"
             )
         count = blocks.shape[0]
-        if start < 0 or start + count > arr.num_blocks:
-            arr._check(start)
-            arr._check(start + count - 1)
-        arr._data[start : start + count] = blocks
-        for i in range(start, start + count):
-            arr.versions.reencrypt(i)
-        self.writes += count
-        if self.trace.enabled:
-            for i in range(start, start + count):
-                self.trace.record(Op.WRITE, arr.array_id, i)
+        self.write_many(arr, (start, start + count), blocks)
 
     # -- metering ------------------------------------------------------------
 
     def reset_counters(self) -> None:
-        """Zero the cumulative read/write counters (the trace is untouched)."""
+        """Zero the cumulative I/O and batch counters (the trace is untouched)."""
         self.reads = 0
         self.writes = 0
+        self.batch_count = 0
+        self.batched_io_count = 0
 
     @contextmanager
     def metered(self) -> Iterator[IOMeter]:
         """Measure the I/Os performed inside a ``with`` body.
 
-        Yields an :class:`IOMeter` whose ``reads``/``writes`` are filled
-        in when the body exits (normally or via an exception) — no
-        hand-subtraction of ``total_ios`` snapshots required.
+        Yields an :class:`IOMeter` whose ``reads``/``writes`` (and batch
+        statistics) are filled in when the body exits (normally or via an
+        exception) — no hand-subtraction of ``total_ios`` snapshots
+        required.
         """
         start_r, start_w = self.reads, self.writes
+        start_b, start_bio = self.batch_count, self.batched_io_count
         m = IOMeter()
         try:
             yield m
         finally:
             m.reads = self.reads - start_r
             m.writes = self.writes - start_w
+            m.batches = self.batch_count - start_b
+            m.batched_ios = self.batched_io_count - start_bio
 
     def meter(self) -> AbstractContextManager[IOMeter]:
-        """Alias of :meth:`metered`, kept for backwards compatibility."""
+        """Deprecated alias of :meth:`metered`."""
+        warnings.warn(
+            "EMMachine.meter() is deprecated; use EMMachine.metered()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return self.metered()
 
     # -- teardown ------------------------------------------------------------
@@ -219,6 +560,18 @@ class EMMachine:
         self.backend.close()
 
     # -- internals -------------------------------------------------------------
+
+    @staticmethod
+    def _as_indices(indices) -> np.ndarray:
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.ndim != 1:
+            raise ValueError(f"indices must be 1-D, got shape {idx.shape}")
+        return idx
+
+    def _count_batch(self, ios: int) -> None:
+        if ios > 0:
+            self.batch_count += 1
+            self.batched_io_count += ios
 
     def _own(self, arr: EMArray) -> None:
         if self._arrays.get(arr.array_id) is not arr:

@@ -40,6 +40,12 @@ class StorageBackend:
     :meth:`close` are no-ops unless the backend owns external resources.
     ``allocate`` must return a *zero-filled* int64 ndarray (or ndarray
     subclass) of the requested shape.
+
+    :meth:`gather` and :meth:`scatter` are the two bulk-I/O hooks the
+    batched engine (:class:`repro.em.machine.EMMachine`) drives; the
+    default numpy fancy-indexing implementations work for any backend
+    whose ``allocate`` returns an ndarray (plain RAM and ``memmap``
+    alike), so Memory and Memmap share one code path.
     """
 
     #: Short name used by :class:`repro.api.EMConfig` to select a backend.
@@ -48,6 +54,24 @@ class StorageBackend:
     def allocate(self, shape: tuple[int, ...], label: str = "") -> np.ndarray:
         """Return a zero-initialised int64 buffer of ``shape``."""
         raise NotImplementedError
+
+    def gather(self, data: np.ndarray, indices: np.ndarray) -> np.ndarray:
+        """Return a fresh ``(k, B, 2)`` copy of ``data[indices]``.
+
+        Fancy indexing always copies, so the result never aliases the
+        backing store (reads must not alias disk).
+        """
+        return data[indices]
+
+    def scatter(
+        self, data: np.ndarray, indices: np.ndarray, blocks: np.ndarray
+    ) -> None:
+        """Overwrite ``data[indices]`` with ``blocks``.
+
+        Duplicate indices follow numpy fancy-assignment semantics: the
+        *last* occurrence wins, matching a sequential scalar write loop.
+        """
+        data[indices] = blocks
 
     def release(self, data: np.ndarray) -> None:
         """Reclaim a buffer previously returned by :meth:`allocate`."""
@@ -131,7 +155,7 @@ class EMArray:
     directly by user code.
     """
 
-    __slots__ = ("array_id", "name", "num_blocks", "B", "_data", "versions")
+    __slots__ = ("array_id", "name", "num_blocks", "B", "_data", "versions", "backend")
 
     def __init__(
         self,
@@ -149,8 +173,8 @@ class EMArray:
         self.name = name
         self.num_blocks = num_blocks
         self.B = B
-        backend = backend if backend is not None else MemoryBackend()
-        self._data = backend.allocate((num_blocks, B, RECORD_WIDTH), name)
+        self.backend = backend if backend is not None else MemoryBackend()
+        self._data = self.backend.allocate((num_blocks, B, RECORD_WIDTH), name)
         self._data[:, :, 0] = NULL_KEY
         self.versions = CiphertextVersions(num_blocks)
 
@@ -171,10 +195,70 @@ class EMArray:
         self._data[index] = block
         self.versions.reencrypt(index)
 
+    def _gather(self, indices: np.ndarray) -> np.ndarray:
+        """Bulk read: a fresh ``(k, B, 2)`` copy of the indexed blocks."""
+        self._check_many(indices)
+        return self.backend.gather(self._data, indices)
+
+    def _scatter(self, indices: np.ndarray, blocks: np.ndarray) -> None:
+        """Bulk write: overwrite the indexed blocks, re-encrypting each.
+
+        Duplicate indices behave like a sequential write loop (last
+        occurrence wins, both for contents and ciphertext versions).
+        """
+        self._check_many(indices)
+        if blocks.shape != (len(indices), self.B, RECORD_WIDTH):
+            raise ValueError(
+                f"blocks shape {blocks.shape} does not match "
+                f"({len(indices)}, {self.B}, {RECORD_WIDTH})"
+            )
+        self.backend.scatter(self._data, indices, blocks)
+        self.versions.reencrypt_many(indices)
+
+    def _check_range(self, lo: int, hi: int, step: int = 1) -> None:
+        # For strides > 1 only the indices actually touched must be in
+        # bounds (the nominal ``hi`` may overshoot the last index).
+        last = lo + ((hi - lo - 1) // step) * step if hi > lo else lo
+        if lo < 0 or lo > hi or step < 1 or (hi > lo and last >= self.num_blocks):
+            raise OutOfBoundsError(
+                f"block range [{lo}, {hi}):{step} out of range for array "
+                f"'{self.name}' of {self.num_blocks} blocks"
+            )
+
+    def _gather_range(self, lo: int, hi: int, step: int = 1) -> np.ndarray:
+        """(Strided) range bulk read: O(1) bounds check, slice copy."""
+        self._check_range(lo, hi, step)
+        return self._data[lo:hi:step].copy() if step != 1 else self._data[lo:hi].copy()
+
+    def _scatter_range(self, lo: int, hi: int, blocks: np.ndarray, step: int = 1) -> None:
+        """(Strided) range bulk write, re-encrypting each block in order."""
+        self._check_range(lo, hi, step)
+        k = len(range(lo, hi, step))
+        if blocks.shape != (k, self.B, RECORD_WIDTH):
+            raise ValueError(
+                f"blocks shape {blocks.shape} does not match "
+                f"({k}, {self.B}, {RECORD_WIDTH})"
+            )
+        if step != 1:
+            self._data[lo:hi:step] = blocks
+        else:
+            self._data[lo:hi] = blocks
+        self.versions.reencrypt_range(lo, hi, step)
+
     def _check(self, index: int) -> None:
         if not (0 <= index < self.num_blocks):
             raise OutOfBoundsError(
                 f"block {index} out of range for array '{self.name}' "
+                f"of {self.num_blocks} blocks"
+            )
+
+    def _check_many(self, indices: np.ndarray) -> None:
+        if len(indices) and (
+            int(indices.min()) < 0 or int(indices.max()) >= self.num_blocks
+        ):
+            bad = indices[(indices < 0) | (indices >= self.num_blocks)]
+            raise OutOfBoundsError(
+                f"block {int(bad[0])} out of range for array '{self.name}' "
                 f"of {self.num_blocks} blocks"
             )
 

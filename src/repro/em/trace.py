@@ -10,6 +10,14 @@ randomized algorithms draw from an explicit seeded generator, fixing the
 seed makes the transcript a deterministic function of ``(P, N, M, B)``, so
 the verifier can demand byte-identical transcripts across adversarially
 chosen inputs.
+
+Events are stored columnarly in preallocated int64 chunks so that the
+batched I/O engine (:meth:`repro.em.machine.EMMachine.read_many` and
+friends) can append thousands of events in one ``append_rows`` /
+``record_batch`` / ``record_events`` call; the scalar :meth:`record`
+path writes into the same chunks.  ``fingerprint()`` is byte-identical to the historical
+list-backed layout: the export is the same ``(n, 3)`` C-contiguous int64
+array either way.
 """
 
 from __future__ import annotations
@@ -22,6 +30,9 @@ from typing import Iterator
 import numpy as np
 
 __all__ = ["Op", "TraceEvent", "AccessTrace"]
+
+#: Rows per preallocated trace chunk.
+_CHUNK_EVENTS = 1 << 16
 
 
 class Op(IntEnum):
@@ -49,49 +60,133 @@ class TraceEvent:
 class AccessTrace:
     """Append-only transcript of adversary-visible events.
 
-    Events are stored in flat Python lists (appends dominate) and exported
-    as a ``(n, 3)`` int64 array for fingerprinting and analysis.
+    Events live in a list of full ``(_CHUNK_EVENTS, 3)`` int64 chunks plus
+    one partially-filled current chunk; ``as_array()`` exports the whole
+    transcript as a ``(n, 3)`` int64 array for fingerprinting and analysis.
     """
 
-    __slots__ = ("_ops", "_arrays", "_indices", "enabled")
+    __slots__ = ("_full", "_cur", "_pos", "enabled")
 
     def __init__(self) -> None:
-        self._ops: list[int] = []
-        self._arrays: list[int] = []
-        self._indices: list[int] = []
+        self._full: list[np.ndarray] = []
+        self._cur: np.ndarray | None = None
+        self._pos = 0
         #: When False, ``record`` is a no-op.  Benchmarks that only need
         #: I/O counts can disable tracing to cut overhead.
         self.enabled: bool = True
+
+    # -- appending ---------------------------------------------------------
+
+    def _roll(self) -> np.ndarray:
+        if self._cur is not None:
+            self._full.append(self._cur)
+        self._cur = np.empty((_CHUNK_EVENTS, 3), dtype=np.int64)
+        self._pos = 0
+        return self._cur
 
     def record(self, op: Op, array_id: int, index: int) -> None:
         """Append one event (no-op when tracing is disabled)."""
         if not self.enabled:
             return
-        self._ops.append(int(op))
-        self._arrays.append(array_id)
-        self._indices.append(index)
+        cur = self._cur
+        if cur is None or self._pos == _CHUNK_EVENTS:
+            cur = self._roll()
+        cur[self._pos, 0] = op
+        cur[self._pos, 1] = array_id
+        cur[self._pos, 2] = index
+        self._pos += 1
+
+    def record_batch(self, op: Op, array_id: int, indices: np.ndarray) -> None:
+        """Append one event per index, all with the same ``op``/``array_id``.
+
+        Convenience form of :meth:`append_rows` for uniform sequences:
+        the event order is exactly the order of ``indices``, as if
+        :meth:`record` had been called once per index.  (The machine's
+        bulk operations build their interleaved rows directly and call
+        :meth:`append_rows`.)
+        """
+        if not self.enabled:
+            return
+        indices = np.asarray(indices, dtype=np.int64).ravel()
+        k = len(indices)
+        if k == 0:
+            return
+        rows = np.empty((k, 3), dtype=np.int64)
+        rows[:, 0] = int(op)
+        rows[:, 1] = array_id
+        rows[:, 2] = indices
+        self.append_rows(rows)
+
+    def record_events(
+        self,
+        ops: np.ndarray | int,
+        array_ids: np.ndarray | int,
+        indices: np.ndarray,
+    ) -> None:
+        """Append fully general event columns (each scalar or length-k).
+
+        Used for interleaved batch patterns (e.g. ``R a, W b, R a, W b``)
+        where op and array vary per event; the emitted order is the row
+        order of the columns.
+        """
+        if not self.enabled:
+            return
+        indices = np.asarray(indices, dtype=np.int64).ravel()
+        k = len(indices)
+        if k == 0:
+            return
+        rows = np.empty((k, 3), dtype=np.int64)
+        rows[:, 0] = ops
+        rows[:, 1] = array_ids
+        rows[:, 2] = indices
+        self.append_rows(rows)
+
+    def append_rows(self, rows: np.ndarray) -> None:
+        """Append pre-built ``(k, 3)`` int64 event rows (the engine's
+        lowest-overhead path; no-op when tracing is disabled)."""
+        if not self.enabled:
+            return
+        k = len(rows)
+        done = 0
+        while done < k:
+            cur = self._cur
+            if cur is None or self._pos == _CHUNK_EVENTS:
+                cur = self._roll()
+            take = min(k - done, _CHUNK_EVENTS - self._pos)
+            cur[self._pos : self._pos + take] = rows[done : done + take]
+            self._pos += take
+            done += take
+
+    # -- reading -----------------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self._ops)
+        return len(self._full) * _CHUNK_EVENTS + self._pos
 
     def __iter__(self) -> Iterator[TraceEvent]:
-        for op, arr, idx in zip(self._ops, self._arrays, self._indices):
-            yield TraceEvent(Op(op), arr, idx)
+        for op, arr, idx in self.as_array():
+            yield TraceEvent(Op(op), int(arr), int(idx))
 
     def __getitem__(self, i: int) -> TraceEvent:
-        return TraceEvent(Op(self._ops[i]), self._arrays[i], self._indices[i])
+        n = len(self)
+        if i < 0:
+            i += n
+        if not (0 <= i < n):
+            raise IndexError(f"event {i} out of range for trace of {n}")
+        chunk, off = divmod(i, _CHUNK_EVENTS)
+        row = self._full[chunk][off] if chunk < len(self._full) else self._cur[off]
+        return TraceEvent(Op(int(row[0])), int(row[1]), int(row[2]))
 
     def as_array(self) -> np.ndarray:
         """Export the transcript as an ``(n, 3)`` int64 array."""
-        if not self._ops:
+        n = len(self)
+        if n == 0:
             return np.empty((0, 3), dtype=np.int64)
-        return np.column_stack(
-            [
-                np.asarray(self._ops, dtype=np.int64),
-                np.asarray(self._arrays, dtype=np.int64),
-                np.asarray(self._indices, dtype=np.int64),
-            ]
-        )
+        parts = list(self._full)
+        if self._pos:
+            parts.append(self._cur[: self._pos])
+        if len(parts) == 1:
+            return parts[0].copy()
+        return np.concatenate(parts)
 
     def fingerprint(self) -> str:
         """Return a SHA-256 digest of the transcript.
@@ -116,15 +211,18 @@ class AccessTrace:
 
     def clear(self) -> None:
         """Forget all recorded events."""
-        self._ops.clear()
-        self._arrays.clear()
-        self._indices.clear()
+        self._full.clear()
+        self._cur = None
+        self._pos = 0
 
     def address_histogram(self) -> dict[tuple[int, int, int], int]:
         """Return counts of each distinct event — used by the statistical
         (cross-seed) obliviousness checks."""
-        hist: dict[tuple[int, int, int], int] = {}
-        for op, arr, idx in zip(self._ops, self._arrays, self._indices):
-            key = (op, arr, idx)
-            hist[key] = hist.get(key, 0) + 1
-        return hist
+        arr = self.as_array()
+        if not len(arr):
+            return {}
+        uniq, counts = np.unique(arr, axis=0, return_counts=True)
+        return {
+            (int(op), int(a), int(i)): int(c)
+            for (op, a, i), c in zip(uniq, counts)
+        }

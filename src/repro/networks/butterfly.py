@@ -22,12 +22,18 @@ Three views are provided:
 :func:`butterfly_expand` runs the network "in reverse" (the remark after
 Theorem 6): each element carries a non-decreasing *expansion factor* and
 moves right instead of left.
+
+All external-memory passes issue their I/O through the machine's batched
+engine in cache-sized chunks; each batch emits exactly the event sequence
+of the original scalar loop (see :meth:`repro.em.machine.EMMachine.
+io_rounds`), so the Theorem 6 obliviousness argument is untouched.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.em.batch import empty_blocks, hold_scan, scan_chunks
 from repro.em.block import NULL_KEY, RECORD_WIDTH, is_empty
 from repro.em.errors import EMError
 from repro.em.machine import EMMachine
@@ -150,10 +156,11 @@ def _route_in_memory(
     new_payload[..., 0] = NULL_KEY
     src = idx[occ]
     dst = dests[occ]
-    uniq, counts = np.unique(dst, return_counts=True)
+    counts = np.bincount(dst, minlength=n)
     if np.any(counts > 1):
         raise ButterflyCollisionError(
-            f"collision in composite routing: slots {uniq[counts > 1].tolist()}"
+            f"collision in composite routing: slots "
+            f"{np.flatnonzero(counts > 1).tolist()}"
         )
     new_occ[dst] = True
     new_lab[dst] = lab[src] - moves[src]
@@ -169,30 +176,72 @@ def _route_in_memory(
 #: holds ``(occupied_flag, distance)``.
 
 
+def _make_label_block(B: int, occ: bool, dist: int) -> np.ndarray:
+    block = np.full((B, RECORD_WIDTH), 0, dtype=np.int64)
+    block[:, 0] = NULL_KEY
+    block[0, 0] = 1 if occ else 0
+    block[0, 1] = dist if occ else 0
+    return block
+
+
+def _make_label_blocks(B: int, occ: np.ndarray, dist: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_make_label_block`: ``(k, B, 2)`` label blocks."""
+    occ = np.asarray(occ, dtype=bool)
+    blocks = empty_blocks(len(occ), B)
+    blocks[:, 0, 0] = occ
+    blocks[:, 0, 1] = np.where(occ, dist, 0)
+    return blocks
+
+
+def _read_label(block: np.ndarray) -> tuple[bool, int]:
+    return bool(block[0, 0] == 1), int(block[0, 1])
+
+
+def _read_labels(blocks: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized :func:`_read_label` over ``(k, B, 2)`` label blocks."""
+    return blocks[:, 0, 0] == 1, blocks[:, 0, 1]
+
+
 def _write_labels_scan(
     machine: EMMachine,
     A: EMArray,
     occupied_fn,
+    occupied_vec: np.ndarray | None = None,
 ) -> tuple[EMArray, int]:
     """Scan ``A`` computing distance labels into a parallel label array.
 
     Returns the label array and the number of occupied blocks.  The scan's
     access pattern (read ``A[j]``, write ``labels[j]``) is fixed.
+    ``occupied_vec`` supplies a private per-position occupancy mask
+    (failure sweeping); otherwise ``occupied_fn`` (or the default
+    any-non-empty-record test) decides per block, in cache.
     """
     n = A.num_blocks
+    B = machine.B
     labels = machine.alloc(n, f"{A.name}.labels")
     rank = 0
-    with machine.cache.hold(2):
-        for j in range(n):
-            block = machine.read(A, j)
-            occ = bool(occupied_fn(block))
-            lab_block = np.full((machine.B, RECORD_WIDTH), 0, dtype=np.int64)
-            lab_block[:, 0] = NULL_KEY
-            lab_block[0, 0] = 1 if occ else 0
-            lab_block[0, 1] = (j - rank) if occ else 0
-            machine.write(labels, j, lab_block)
-            if occ:
-                rank += 1
+    for lo, hi in scan_chunks(machine, n, streams=2):
+        with hold_scan(machine, 2, hi - lo):
+            idx = np.arange(lo, hi, dtype=np.int64)
+
+            def label_blocks(reads, lo=lo, hi=hi, idx=idx):
+                nonlocal rank
+                blocks = reads[0]
+                if occupied_vec is not None:
+                    occ = np.asarray(occupied_vec[lo:hi], dtype=bool)
+                elif occupied_fn is None or occupied_fn is _default_occupied:
+                    occ = np.any(~is_empty(blocks), axis=1)
+                else:
+                    occ = np.array(
+                        [bool(occupied_fn(b)) for b in blocks], dtype=bool
+                    )
+                ranks_before = rank + np.cumsum(occ) - occ
+                rank += int(np.count_nonzero(occ))
+                return _make_label_blocks(B, occ, idx - ranks_before)
+
+            machine.io_rounds(
+                [("r", A, (lo, hi)), ("w", labels, (lo, hi), label_blocks)]
+            )
     return labels, rank
 
 
@@ -217,56 +266,88 @@ def _route_em_naive(
     n = data.num_blocks
     B = machine.B
     cur_d, cur_l = data, labels
+
+    def route_chunk(j_idx: np.ndarray, here, far, modulus: int, step: int, level: int):
+        """Vectorized routing decision for output cells ``j_idx``."""
+        blk_here, lab_here = here
+        occ_h, d_h = _read_labels(lab_here)
+        claim_h = occ_h & (d_h % modulus == 0)
+        k = len(j_idx)
+        out_blk = empty_blocks(k, B)
+        out_occ = np.zeros(k, dtype=bool)
+        out_dist = np.zeros(k, dtype=np.int64)
+        out_blk[claim_h] = blk_here[claim_h]
+        out_occ[claim_h] = True
+        out_dist[claim_h] = d_h[claim_h]
+        if far is not None:
+            blk_far, lab_far = far
+            occ_f, d_f = _read_labels(lab_far)
+            claim_f = occ_f & (d_f % modulus == step)
+            both = claim_h & claim_f
+            if np.any(both):
+                raise ButterflyCollisionError(
+                    f"collision at level {level}, output {int(j_idx[np.flatnonzero(both)[0]])}"
+                )
+            out_blk[claim_f] = blk_far[claim_f]
+            out_occ[claim_f] = True
+            out_dist[claim_f] = d_f[claim_f] - step
+        return out_blk, _make_label_blocks(B, out_occ, out_dist)
+
     for level in range(_num_levels(n)):
         step = 1 << level
         modulus = step * 2
         nxt_d = machine.alloc(n, f"{data.name}.L{level + 1}")
         nxt_l = machine.alloc(n, f"{data.name}.L{level + 1}.lab")
-        with machine.cache.hold(4):
-            for j in range(n):
-                blk_here = machine.read(cur_d, j)
-                lab_here = machine.read(cur_l, j)
-                out_blk = np.full((B, RECORD_WIDTH), 0, dtype=np.int64)
-                out_blk[:, 0] = NULL_KEY
-                out_lab = np.full((B, RECORD_WIDTH), 0, dtype=np.int64)
-                out_lab[:, 0] = NULL_KEY
-                out_lab[0, 0] = 0
-                out_lab[0, 1] = 0
-                claimed = False
-                if lab_here[0, 0] == 1 and lab_here[0, 1] % modulus == 0:
-                    out_blk = blk_here
-                    out_lab[0, 0] = 1
-                    out_lab[0, 1] = lab_here[0, 1]
-                    claimed = True
-                if j + step < n:
-                    blk_far = machine.read(cur_d, j + step)
-                    lab_far = machine.read(cur_l, j + step)
-                    if lab_far[0, 0] == 1 and lab_far[0, 1] % modulus == step:
-                        if claimed:
-                            raise ButterflyCollisionError(
-                                f"collision at level {level}, output {j}"
-                            )
-                        out_blk = blk_far
-                        out_lab[0, 0] = 1
-                        out_lab[0, 1] = lab_far[0, 1] - step
-                machine.write(nxt_d, j, out_blk)
-                machine.write(nxt_l, j, out_lab)
+        # Output cells with a far fan-in (j + step < n) read four blocks;
+        # the tail reads two.  The scalar order — per-j groups, in j order
+        # — is preserved by the round-robin io_rounds interleave.
+        split = max(0, n - step)
+        for lo, hi in scan_chunks(machine, split, streams=6):
+            with hold_scan(machine, 6, hi - lo):
+                idx = np.arange(lo, hi, dtype=np.int64)
+                out: dict[str, np.ndarray] = {}
+
+                def emit(reads, idx=idx, out=out):
+                    out["d"], out["l"] = route_chunk(
+                        idx, (reads[0], reads[1]), (reads[2], reads[3]),
+                        modulus, step, level,
+                    )
+                    return out["d"]
+
+                machine.io_rounds(
+                    [
+                        ("r", cur_d, (lo, hi)),
+                        ("r", cur_l, (lo, hi)),
+                        ("r", cur_d, (lo + step, hi + step)),
+                        ("r", cur_l, (lo + step, hi + step)),
+                        ("w", nxt_d, (lo, hi), emit),
+                        ("w", nxt_l, (lo, hi), lambda reads, out=out: out["l"]),
+                    ]
+                )
+        for lo, hi in scan_chunks(machine, n - split, streams=4):
+            with hold_scan(machine, 4, hi - lo):
+                idx = np.arange(split + lo, split + hi, dtype=np.int64)
+                out = {}
+
+                def emit_tail(reads, idx=idx, out=out):
+                    out["d"], out["l"] = route_chunk(
+                        idx, (reads[0], reads[1]), None, modulus, step, level
+                    )
+                    return out["d"]
+
+                machine.io_rounds(
+                    [
+                        ("r", cur_d, (split + lo, split + hi)),
+                        ("r", cur_l, (split + lo, split + hi)),
+                        ("w", nxt_d, (split + lo, split + hi), emit_tail),
+                        ("w", nxt_l, (split + lo, split + hi),
+                         lambda reads, out=out: out["l"]),
+                    ]
+                )
         machine.free(cur_d)
         machine.free(cur_l)
         cur_d, cur_l = nxt_d, nxt_l
     return cur_d, cur_l
-
-
-def _read_label(block: np.ndarray) -> tuple[bool, int]:
-    return bool(block[0, 0] == 1), int(block[0, 1])
-
-
-def _make_label_block(B: int, occ: bool, dist: int) -> np.ndarray:
-    block = np.full((B, RECORD_WIDTH), 0, dtype=np.int64)
-    block[:, 0] = NULL_KEY
-    block[0, 0] = 1 if occ else 0
-    block[0, 1] = dist if occ else 0
-    return block
 
 
 def _route_em_windowed(
@@ -295,14 +376,18 @@ def _route_em_windowed(
     # route privately, write back.
     if 2 * n + 2 <= m:
         with machine.cache.hold(2 * n):
-            payload = np.stack([machine.read(data, j) for j in range(n)])
-            labs = [machine.read(labels, j) for j in range(n)]
-            occ = np.array([_read_label(lb)[0] for lb in labs], dtype=bool)
-            dist = np.array([_read_label(lb)[1] for lb in labs], dtype=np.int64)
-            occ2, dist2, payload2 = _route_in_memory(occ, dist, payload, levels)
-            for j in range(n):
-                machine.write(data, j, payload2[j])
-                machine.write(labels, j, _make_label_block(B, bool(occ2[j]), int(dist2[j])))
+            payload = machine.read_many(data, (0, n))
+            labs = machine.read_many(labels, (0, n))
+            occ, dist = _read_labels(labs)
+            occ2, dist2, payload2 = _route_in_memory(
+                occ.astype(bool), dist, payload, levels
+            )
+            machine.io_rounds(
+                [
+                    ("w", data, (0, n), payload2),
+                    ("w", labels, (0, n), _make_label_blocks(B, occ2, dist2)),
+                ]
+            )
         return data, labels
 
     # Window size: need input chunk (2 * S blocks incl. labels) plus the
@@ -313,62 +398,133 @@ def _route_em_windowed(
 
     out_d = machine.alloc(n, f"{data.name}.w{depth}")
     out_l = machine.alloc(n, f"{data.name}.w{depth}.lab")
-    # Sliding output buffer of 2S slots covering [origin, origin + 2S).
-    buf_payload = np.full((2 * S, B, RECORD_WIDTH), 0, dtype=np.int64)
-    buf_payload[:, :, 0] = NULL_KEY
-    buf_occ = np.zeros(2 * S, dtype=bool)
-    buf_dist = np.zeros(2 * S, dtype=np.int64)
+    # The first g levels compose to the injective map j -> j - (d_j mod S)
+    # (Lemma 5).  The paper's sliding-window scan evaluates it with 2S
+    # buffered cells, flushing the finalized S-slot region after each
+    # window; only the 2S-slot buffer is ever live in private memory.
+    # The engine replays the scan's exact event order — [reads of window
+    # w][flush of window w-1] per round — fusing groups of windows into
+    # strided io_rounds batches.  An S-slot ``carry`` hands the not-yet-
+    # flushable leading region from one group to the next, so physical
+    # staging stays bounded by the group size, never O(n).
+    W = ceil_div(n, S)
+    carry_pay = empty_blocks(S, B)
+    carry_occ = np.zeros(S, dtype=bool)
+    carry_dist = np.zeros(S, dtype=np.int64)
 
-    def flush(origin: int, lo: int, hi: int) -> None:
-        """Write finalized region [lo, hi) of the output from the buffer."""
-        for j in range(lo, hi):
-            slot = j - origin
-            machine.write(out_d, j, buf_payload[slot])
-            machine.write(
-                out_l, j, _make_label_block(B, bool(buf_occ[slot]), int(buf_dist[slot]))
+    def route_into(blk, lab, j0, base, img_pay, img_occ, img_dist) -> None:
+        """Route gathered cells ``[j0, j0 + len)`` into an image buffer
+        covering global positions ``[base, base + len(img_occ))``."""
+        occ, dist = _read_labels(lab)
+        sel = np.flatnonzero(occ)
+        if not len(sel):
+            return
+        d = dist[sel]
+        moves = d % S
+        dests = j0 + sel - moves
+        if np.any(dests < max(0, base)):
+            raise ButterflyCollisionError("cell routed before buffer window")
+        dests -= base
+        if np.any(img_occ[dests]) or np.any(
+            np.bincount(dests, minlength=len(img_occ))[dests] > 1
+        ):
+            raise ButterflyCollisionError(
+                f"window collision (level group 0..{g - 1})"
             )
+        img_occ[dests] = True
+        img_dist[dests] = d - moves
+        img_pay[dests] = blk[sel]
 
     with machine.cache.hold(min(m, 6 * S)):
-        origin = -S  # buffer covers [origin, origin + 2S)
-        c = 0
-        while c < n:
-            chunk = min(S, n - c)
-            for local in range(chunk):
-                j = c + local
-                blk = machine.read(data, j)
-                lab = machine.read(labels, j)
-                occ, dist = _read_label(lab)
-                if not occ:
-                    continue
-                move = dist % S
-                dest = j - move
-                slot = dest - origin
-                if slot < 0:
-                    raise ButterflyCollisionError("cell routed before buffer window")
-                if buf_occ[slot]:
-                    raise ButterflyCollisionError(
-                        f"window collision at output {dest} (level group 0..{g - 1})"
-                    )
-                buf_occ[slot] = True
-                buf_dist[slot] = dist - move
-                buf_payload[slot] = blk
-            c += chunk
-            if c < n:
-                # Region [origin, origin + S) can no longer receive cells
-                # (future cells sit at >= c and move < S, landing > c - S
-                # >= origin + S when chunks are full-size).  Flush it and
-                # slide the buffer right by S.
-                flush(origin, max(0, origin), origin + S)
-                buf_payload[:S] = buf_payload[S:]
-                buf_payload[S:, :, 0] = NULL_KEY
-                buf_payload[S:, :, 1] = 0
-                buf_occ[:S] = buf_occ[S:]
-                buf_occ[S:] = False
-                buf_dist[:S] = buf_dist[S:]
-                buf_dist[S:] = 0
-                origin += S
-        # Flush everything still buffered: [origin, n).
-        flush(origin, max(0, origin), n)
+        # Window 0 (its predecessor flush region is empty).  All of its
+        # cells land in [0, S) — the initial carry region.
+        first = min(S, n)
+        blk, lab = machine.io_rounds(
+            [("r", data, (0, first)), ("r", labels, (0, first))]
+        )
+        route_into(blk, lab, 0, 0, carry_pay, carry_occ, carry_dist)
+        # Full windows 1..W-2 in groups of _WINDOW_GROUP rounds.  Round w
+        # reads window w and flushes region [(w-1)S, wS), which by the
+        # window invariant receives no cell from any window > w — so the
+        # group can be routed in one shot before its first flush.
+        group = max(1, 4096 // S)  # windows per batch: bounded staging
+        for wa in range(1, W - 1, group):
+            wb = min(wa + group, W - 1)
+            k = wb - wa
+            base = (wa - 1) * S
+            img_pay = empty_blocks((k + 1) * S, B)
+            img_occ = np.zeros((k + 1) * S, dtype=bool)
+            img_dist = np.zeros((k + 1) * S, dtype=np.int64)
+            img_pay[:S] = carry_pay
+            img_occ[:S] = carry_occ
+            img_dist[:S] = carry_dist
+            steps: list = []
+            for i in range(S):
+                pos = (wa * S + i, wa * S + i + k * S, S)
+                steps.append(("r", data, pos))
+                steps.append(("r", labels, pos))
+            routed: dict[str, bool] = {}
+
+            def ensure_routed(reads, wa=wa, k=k, base=base,
+                              img_pay=img_pay, img_occ=img_occ,
+                              img_dist=img_dist, routed=routed) -> None:
+                if routed:
+                    return
+                blks = np.stack(
+                    [reads[2 * i] for i in range(S)], axis=1
+                ).reshape(k * S, B, RECORD_WIDTH)
+                labs = np.stack(
+                    [reads[2 * i + 1] for i in range(S)], axis=1
+                ).reshape(k * S, B, RECORD_WIDTH)
+                route_into(blks, labs, wa * S, base, img_pay, img_occ, img_dist)
+                routed["done"] = True
+
+            def pay_col(i: int, k=k, img_pay=img_pay, ensure=None):
+                def fn(reads):
+                    ensure(reads)
+                    return img_pay[i : i + k * S : S]
+                return fn
+
+            def lab_col(i: int, k=k, img_occ=img_occ, img_dist=img_dist,
+                        ensure=None):
+                def fn(reads):
+                    ensure(reads)
+                    sl = slice(i, i + k * S, S)
+                    return _make_label_blocks(B, img_occ[sl], img_dist[sl])
+                return fn
+
+            for i in range(S):
+                fpos = (base + i, base + i + k * S, S)
+                steps.append(("w", out_d, fpos, pay_col(i, ensure=ensure_routed)))
+                steps.append(("w", out_l, fpos, lab_col(i, ensure=ensure_routed)))
+            machine.io_rounds(steps)
+            carry_pay = img_pay[k * S :].copy()
+            carry_occ = img_occ[k * S :].copy()
+            carry_dist = img_dist[k * S :].copy()
+        # Last window (possibly partial): its cells land in the carry
+        # region [(W-2)S, (W-1)S) or beyond, all within the final flush.
+        flo = max(0, (W - 2) * S)
+        fin_pay = empty_blocks(n - flo, B)
+        fin_occ = np.zeros(n - flo, dtype=bool)
+        fin_dist = np.zeros(n - flo, dtype=np.int64)
+        span = min(S, n - flo)
+        fin_pay[:span] = carry_pay[:span]
+        fin_occ[:span] = carry_occ[:span]
+        fin_dist[:span] = carry_dist[:span]
+        if W >= 2:
+            tail_lo = (W - 1) * S
+            blk, lab = machine.io_rounds(
+                [("r", data, (tail_lo, n)), ("r", labels, (tail_lo, n))]
+            )
+            route_into(blk, lab, tail_lo, flo, fin_pay, fin_occ, fin_dist)
+        # Final flush: everything still buffered, [max(0, (W-2)S), n).
+        machine.io_rounds(
+            [
+                ("w", out_d, (flo, n), fin_pay),
+                ("w", out_l, (flo, n),
+                 _make_label_blocks(B, fin_occ, fin_dist)),
+            ]
+        )
     machine.free(data)
     machine.free(labels)
 
@@ -384,26 +540,46 @@ def _route_em_windowed(
             continue
         sub_d = machine.alloc(size, f"{data.name}.c{depth}.{r}")
         sub_l = machine.alloc(size, f"{data.name}.c{depth}.{r}.lab")
-        with machine.cache.hold(2):
-            for p, j in enumerate(range(r, n, S)):
-                machine.write(sub_d, p, machine.read(out_d, j))
-                lab = machine.read(out_l, j)
-                occ, dist = _read_label(lab)
-                # Labels divide by S in gathered coordinates.
-                machine.write(sub_l, p, _make_label_block(B, occ, dist // S))
+        for lo, hi in scan_chunks(machine, size, streams=4):
+            with hold_scan(machine, 4, hi - lo):
+                j = (r + lo * S, r + hi * S, S)
+
+                def divided(reads):
+                    occ, dist = _read_labels(reads[2])
+                    return _make_label_blocks(B, occ, dist // S)
+
+                machine.io_rounds(
+                    [
+                        ("r", out_d, j),
+                        ("w", sub_d, (lo, hi), lambda reads: reads[0]),
+                        ("r", out_l, j),
+                        ("w", sub_l, (lo, hi), divided),
+                    ]
+                )
         sub_d, sub_l = _route_em_windowed(machine, sub_d, sub_l, depth=depth + 1)
         results.append((sub_d, sub_l, r))
 
     # Scatter back.
-    with machine.cache.hold(2):
-        for sub_d, sub_l, r in results:
-            for p, j in enumerate(range(r, n, S)):
-                machine.write(out_d, j, machine.read(sub_d, p))
-                lab = machine.read(sub_l, p)
-                occ, dist = _read_label(lab)
-                machine.write(out_l, j, _make_label_block(B, occ, dist * S))
-            machine.free(sub_d)
-            machine.free(sub_l)
+    for sub_d, sub_l, r in results:
+        size = sub_d.num_blocks
+        for lo, hi in scan_chunks(machine, size, streams=4):
+            with hold_scan(machine, 4, hi - lo):
+                j = (r + lo * S, r + hi * S, S)
+
+                def multiplied(reads):
+                    occ, dist = _read_labels(reads[2])
+                    return _make_label_blocks(B, occ, dist * S)
+
+                machine.io_rounds(
+                    [
+                        ("r", sub_d, (lo, hi)),
+                        ("w", out_d, j, lambda reads: reads[0]),
+                        ("r", sub_l, (lo, hi)),
+                        ("w", out_l, j, multiplied),
+                    ]
+                )
+        machine.free(sub_d)
+        machine.free(sub_l)
     return out_d, out_l
 
 
@@ -439,24 +615,23 @@ def butterfly_compact(
     n = A.num_blocks
     if windowed == "auto":
         windowed = machine.cache.capacity_blocks >= 48
+    occupied_vec = None
     if occupied_mask is not None:
         if occupied_fn is not None:
             raise ValueError("pass occupied_fn or occupied_mask, not both")
         if len(occupied_mask) != n:
             raise ValueError(f"mask length {len(occupied_mask)} != {n} blocks")
-        mask = [bool(x) for x in occupied_mask]
-        position = iter(range(n))
-
-        def occupied_fn(_block: np.ndarray) -> bool:  # noqa: F811
-            return mask[next(position)]
-
-    occupied_fn = occupied_fn or _default_occupied
+        occupied_vec = np.asarray(
+            [bool(x) for x in occupied_mask], dtype=bool
+        )
     # Work on a private copy of the data array so A survives.
     work = machine.alloc(n, f"{A.name}.bfly")
-    with machine.cache.hold(1):
-        for j in range(n):
-            machine.write(work, j, machine.read(A, j))
-    labels, _ = _write_labels_scan(machine, work, occupied_fn)
+    for lo, hi in scan_chunks(machine, n):
+        with hold_scan(machine, 1, hi - lo):
+            machine.copy_many(A, (lo, hi), work, (lo, hi))
+    labels, _ = _write_labels_scan(
+        machine, work, occupied_fn, occupied_vec=occupied_vec
+    )
     # Both routers consume (free) their input arrays.
     if windowed:
         out_d, out_l = _route_em_windowed(machine, work, labels)
@@ -507,58 +682,114 @@ def butterfly_expand(
     if 2 * n_out + 2 <= m:
         out = machine.alloc(n_out, f"{D.name}.expanded")
         with machine.cache.hold(n_out + nd):
-            blocks = [machine.read(D, p) for p in range(nd)]
-            placed: dict[int, np.ndarray] = {}
-            for p in range(nd):
-                placed[p + int(expansion[p])] = blocks[p]
-            empty = np.full((B, RECORD_WIDTH), 0, dtype=np.int64)
-            empty[:, 0] = NULL_KEY
-            for j in range(n_out):
-                machine.write(out, j, placed.get(j, empty))
+            blocks = machine.read_many(D, (0, nd))
+            placed = empty_blocks(n_out, B)
+            placed[np.arange(nd, dtype=np.int64) + expansion] = blocks
+            machine.write_many(out, (0, n_out), placed)
         return out
 
     # Lay out the initial level: block p of D at position p with its full
     # expansion label; the rest empty.
     cur_d = machine.alloc(n_out, f"{D.name}.exp.L")
     cur_l = machine.alloc(n_out, f"{D.name}.exp.L.lab")
-    empty = np.full((B, RECORD_WIDTH), 0, dtype=np.int64)
-    empty[:, 0] = NULL_KEY
-    with machine.cache.hold(2):
-        for j in range(n_out):
-            if j < nd:
-                machine.write(cur_d, j, machine.read(D, j))
-                machine.write(cur_l, j, _make_label_block(B, True, int(expansion[j])))
-            else:
-                machine.write(cur_d, j, empty)
-                machine.write(cur_l, j, _make_label_block(B, False, 0))
+    for lo, hi in scan_chunks(machine, nd, streams=3):
+        with hold_scan(machine, 3, hi - lo):
+            machine.io_rounds(
+                [
+                    ("r", D, (lo, hi)),
+                    ("w", cur_d, (lo, hi), lambda reads: reads[0]),
+                    ("w", cur_l, (lo, hi),
+                     _make_label_blocks(B, np.ones(hi - lo, dtype=bool),
+                                        expansion[lo:hi])),
+                ]
+            )
+    for lo, hi in scan_chunks(machine, n_out - nd, streams=2):
+        with hold_scan(machine, 2, hi - lo):
+            k = hi - lo
+            machine.io_rounds(
+                [
+                    ("w", cur_d, (nd + lo, nd + hi), empty_blocks(k, B)),
+                    ("w", cur_l, (nd + lo, nd + hi),
+                     _make_label_blocks(B, np.zeros(k, dtype=bool),
+                                        np.zeros(k, dtype=np.int64))),
+                ]
+            )
+
+    def expand_chunk(j_idx, here, far, level: int, step: int):
+        """Vectorized reverse-routing decision for output cells ``j_idx``."""
+        lab_here, blk_here = here
+        occ_h, e_h = _read_labels(lab_here)
+        take_h = occ_h & ((e_h >> level) & 1 == 0)
+        k = len(j_idx)
+        out_blk = empty_blocks(k, B)
+        out_occ = np.zeros(k, dtype=bool)
+        out_e = np.zeros(k, dtype=np.int64)
+        out_blk[take_h] = blk_here[take_h]
+        out_occ[take_h] = True
+        out_e[take_h] = e_h[take_h]
+        if far is not None:
+            lab_far, blk_far = far
+            occ_f, e_f = _read_labels(lab_far)
+            take_f = occ_f & ((e_f >> level) & 1 == 1)
+            both = take_h & take_f
+            if np.any(both):
+                raise ButterflyCollisionError(
+                    f"expansion collision at level {level}, "
+                    f"output {int(j_idx[np.flatnonzero(both)[0]])}"
+                )
+            out_blk[take_f] = blk_far[take_f]
+            out_occ[take_f] = True
+            out_e[take_f] = e_f[take_f]
+        return out_blk, _make_label_blocks(B, out_occ, out_e)
 
     # Reverse the network: apply label bits from high to low, moving right.
     for level in reversed(range(_num_levels(n_out))):
         step = 1 << level
         nxt_d = machine.alloc(n_out, f"{D.name}.exp.L{level}")
         nxt_l = machine.alloc(n_out, f"{D.name}.exp.L{level}.lab")
-        with machine.cache.hold(4):
-            for j in range(n_out):
-                out_blk = empty
-                out_occ = False
-                out_e = 0
-                lab_here = machine.read(cur_l, j)
-                blk_here = machine.read(cur_d, j)
-                occ, e = _read_label(lab_here)
-                if occ and (e >> level) & 1 == 0:
-                    out_blk, out_occ, out_e = blk_here, True, e
-                if j - step >= 0:
-                    lab_far = machine.read(cur_l, j - step)
-                    blk_far = machine.read(cur_d, j - step)
-                    occ_f, e_f = _read_label(lab_far)
-                    if occ_f and (e_f >> level) & 1 == 1:
-                        if out_occ:
-                            raise ButterflyCollisionError(
-                                f"expansion collision at level {level}, output {j}"
-                            )
-                        out_blk, out_occ, out_e = blk_far, True, e_f
-                machine.write(nxt_d, j, out_blk)
-                machine.write(nxt_l, j, _make_label_block(B, out_occ, out_e))
+        split = min(step, n_out)
+        for lo, hi in scan_chunks(machine, split, streams=4):
+            with hold_scan(machine, 4, hi - lo):
+                idx = np.arange(lo, hi, dtype=np.int64)
+                out: dict[str, np.ndarray] = {}
+
+                def emit_head(reads, idx=idx, out=out):
+                    out["d"], out["l"] = expand_chunk(
+                        idx, (reads[0], reads[1]), None, level, step
+                    )
+                    return out["d"]
+
+                machine.io_rounds(
+                    [
+                        ("r", cur_l, (lo, hi)),
+                        ("r", cur_d, (lo, hi)),
+                        ("w", nxt_d, (lo, hi), emit_head),
+                        ("w", nxt_l, (lo, hi), lambda reads, out=out: out["l"]),
+                    ]
+                )
+        for lo, hi in scan_chunks(machine, n_out - split, streams=6):
+            with hold_scan(machine, 6, hi - lo):
+                idx = np.arange(split + lo, split + hi, dtype=np.int64)
+                out = {}
+
+                def emit_body(reads, idx=idx, out=out):
+                    out["d"], out["l"] = expand_chunk(
+                        idx, (reads[0], reads[1]), (reads[2], reads[3]),
+                        level, step,
+                    )
+                    return out["d"]
+
+                lo2, hi2 = split + lo, split + hi
+                machine.io_rounds(
+                    [
+                        ("r", cur_l, (lo2, hi2)),
+                        ("r", cur_d, (lo2, hi2)),
+                        ("r", cur_l, (lo2 - step, hi2 - step)),
+                        ("r", cur_d, (lo2 - step, hi2 - step)),
+                        ("w", nxt_d, (lo2, hi2), emit_body),
+                        ("w", nxt_l, (lo2, hi2), lambda reads, out=out: out["l"]),
+                    ]
+                )
         machine.free(cur_d)
         machine.free(cur_l)
         cur_d, cur_l = nxt_d, nxt_l

@@ -308,6 +308,6 @@ def test_reset_counters_and_metered():
             machine.read(arr, 0)
             raise RuntimeError("mid-measurement")
     assert meter.total == 1
-    with machine.meter() as legacy_meter:
+    with machine.metered() as legacy_meter:
         machine.read(arr, 3)
     assert legacy_meter.total == 1

@@ -48,7 +48,7 @@ class TestExternalMergeSort:
         n = 1024
         keys = np.random.default_rng(0).permutation(np.arange(n))
         mach, arr = build(keys, M=128, trace=False)
-        with mach.meter() as meter:
+        with mach.metered() as meter:
             external_merge_sort(mach, arr)
         blocks = n // 4
         assert meter.total < 12 * blocks  # a few linear passes
@@ -77,7 +77,7 @@ class TestBitonicExternalSort:
 
         def ios(fn):
             mach, arr = build(keys, M=128, trace=False)
-            with mach.meter() as meter:
+            with mach.metered() as meter:
                 fn(mach, arr)
             return meter.total
 

@@ -194,7 +194,7 @@ class TestLooseCompact:
         def ios(n):
             mach = EMMachine(M=256, B=4, trace=False)
             arr = load_block_array(mach, sparse_layout(n, range(0, n, 8)))
-            with mach.meter() as meter:
+            with mach.metered() as meter:
                 loose_compact(mach, arr, n // 8, make_rng(5))
             return meter.total
 

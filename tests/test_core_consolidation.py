@@ -32,7 +32,7 @@ class TestConsolidate:
     def test_lemma3_io_count(self):
         """Exactly n reads and n+1 writes (Lemma 3's dN/Be I/O claim)."""
         mach, arr = machine_with(range(20), B=4)
-        with mach.meter() as meter:
+        with mach.metered() as meter:
             consolidate(mach, arr)
         assert meter.reads == arr.num_blocks
         assert meter.writes == arr.num_blocks + 1

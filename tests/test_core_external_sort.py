@@ -95,7 +95,7 @@ class TestIOComplexity:
         mach = EMMachine(M=M, B=B, trace=False)
         arr = mach.alloc_cells(n)
         arr.load_flat(make_records(keys))
-        with mach.meter() as meter:
+        with mach.metered() as meter:
             oblivious_external_sort(mach, arr)
         return meter.total
 

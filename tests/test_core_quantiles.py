@@ -104,7 +104,7 @@ class TestQuantileIOScaling:
             arr.load_flat(make_records(keys))
             for attempt in range(6):
                 try:
-                    with mach.meter() as meter:
+                    with mach.metered() as meter:
                         quantiles_em(mach, arr, n, 2, make_rng(attempt))
                     return meter.total
                 except QuantileFailure:

@@ -143,7 +143,7 @@ class TestSelectionIOScaling:
             arr.load_flat(make_records(keys))
             for attempt in range(6):
                 try:
-                    with mach.meter() as meter:
+                    with mach.metered() as meter:
                         select_em(mach, arr, n, n // 2, make_rng(attempt))
                     return meter.total
                 except SelectionFailure:

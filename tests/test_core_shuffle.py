@@ -58,7 +58,7 @@ class TestKnuthShuffle:
     def test_io_count(self):
         mach = EMMachine(M=64, B=4)
         arr = load_colored(mach, list(range(10)))
-        with mach.meter() as meter:
+        with mach.metered() as meter:
             knuth_block_shuffle(mach, arr, make_rng(0))
         assert meter.reads == 20 and meter.writes == 20
 

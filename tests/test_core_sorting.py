@@ -125,7 +125,7 @@ class TestSortIOComplexity:
         mach = EMMachine(M=M, B=4, trace=False)
         arr = mach.alloc_cells(n)
         arr.load_flat(make_records(keys))
-        with mach.meter() as meter:
+        with mach.metered() as meter:
             oblivious_sort(mach, arr, n, make_rng(seed))
         return meter.total
 

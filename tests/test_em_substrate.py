@@ -208,7 +208,7 @@ class TestEMMachine:
         mach = EMMachine(M=64, B=4)
         arr = mach.alloc(4)
         mach.read(arr, 0)
-        with mach.meter() as meter:
+        with mach.metered() as meter:
             mach.read(arr, 1)
             mach.write(arr, 1, empty_block(4))
         assert meter.reads == 1

@@ -160,7 +160,7 @@ class TestEMButterflyCompact:
         def run(windowed):
             mach = EMMachine(M=32 * 8, B=8, trace=False)
             arr = load_blocks(mach, layout)
-            with mach.meter() as meter:
+            with mach.metered() as meter:
                 butterfly_compact(mach, arr, windowed=windowed)
             return meter.total
 

@@ -33,7 +33,7 @@ class TestLinearScanORAM:
 
     def test_exact_io_cost(self):
         mach, oram = self.make(n=10)
-        with mach.meter() as meter:
+        with mach.metered() as meter:
             oram.read(4)
         assert meter.reads == 10 and meter.writes == 10
 
@@ -145,7 +145,7 @@ class TestComplexityFit:
         for n in (64, 128, 256, 512):
             mach = EMMachine(M=64, B=4, trace=False)
             arr = mach.alloc(n)
-            with mach.meter() as meter:
+            with mach.metered() as meter:
                 consolidate(mach, arr)
             ns.append(n)
             ios.append(meter.total)
