@@ -14,6 +14,8 @@ __all__ = [
     "block_machine",
     "load_sparse_blocks",
     "series_table",
+    "facade_chain",
+    "pipeline_chain",
 ]
 
 
@@ -32,6 +34,36 @@ def experiment(fn):
     wrapper.__name__ = fn.__name__
     wrapper.__doc__ = fn.__doc__
     return wrapper
+
+
+def facade_chain(keys, seed, config, retry=None):
+    """The 3-step shuffle→compact→sort workload as three facade calls.
+
+    Returns ``(total_ios, client_round_trips, final_result)`` — the
+    baseline both pipeline benchmarks compare against.
+    """
+    from repro.api import ObliviousSession
+
+    with ObliviousSession(config, seed=seed, retry=retry) as session:
+        r1 = session.shuffle(keys)
+        r2 = session.compact(r1.records)
+        r3 = session.sort(r2.records)
+        trips = session.machine.client_loads + session.machine.client_extracts
+        return r1.cost.total + r2.cost.total + r3.cost.total, trips, r3
+
+
+def pipeline_chain(keys, seed, config, retry=None):
+    """The same 3-step workload as one lazy pipeline.
+
+    Returns ``(total_ios, client_round_trips, plan_result)``; the block
+    I/Os are identical to :func:`facade_chain` by construction — the
+    saving is the round trips.
+    """
+    from repro.api import ObliviousSession
+
+    with ObliviousSession(config, seed=seed, retry=retry) as session:
+        result = session.dataset(keys).shuffle().compact().sort().run()
+        return result.total.total, result.loads + result.extracts, result
 
 
 def record_machine(keys, *, B=4, M=64, trace=False) -> tuple[EMMachine, EMArray]:

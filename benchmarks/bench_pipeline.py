@@ -1,0 +1,58 @@
+"""Pipeline vs per-call facade: the round-trip and wall-time savings.
+
+Runs the same 3-step workload (shuffle → compact → sort) two ways:
+
+* **facade** — three :class:`repro.api.ObliviousSession` calls, each
+  paying a client→server load and a server→client extract;
+* **pipeline** — one ``session.dataset(...).shuffle().compact().sort()``
+  plan, whose intermediates stay machine-resident (one load, one
+  extract, identical per-step traces).
+
+The modeled block-I/O cost is identical by construction (the executor
+replays the facade's exact allocation and access pattern); what the
+pipeline saves is the client↔server round trips — the quantity that
+dominates a real outsourced-storage deployment — plus the simulator's
+extract/reload overhead.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import EMConfig
+
+from _workloads import experiment, facade_chain, pipeline_chain, series_table
+
+_CONFIG = EMConfig(M=128, B=4, trace=False)
+
+
+@experiment
+def bench_pipeline_round_trips(capsys):
+    """Same I/Os, 6 → 2 round trips, across sizes."""
+    rows = []
+    for n in (256, 512, 1024):
+        keys = np.random.default_rng(n).permutation(np.arange(n))
+        f_ios, f_trips, f_res = facade_chain(keys, 0, _CONFIG)
+        p_ios, p_trips, p_res = pipeline_chain(keys, 0, _CONFIG)
+        assert np.array_equal(p_res.records, f_res.records)
+        assert p_ios == f_ios  # the model cost is identical by construction
+        rows.append([n, f_ios, f_trips, p_trips])
+    with capsys.disabled():
+        print()
+        print(series_table(
+            "pipeline vs facade — identical block I/Os, 3x fewer round trips",
+            ["n", "ios", "facade trips", "pipeline trips"],
+            rows,
+        ))
+    assert all(r[2] == 6 and r[3] == 2 for r in rows)
+
+
+@pytest.mark.parametrize("mode", ["facade", "pipeline"])
+def bench_pipeline_wall_time(benchmark, mode):
+    n = 1024
+    keys = np.random.default_rng(7).permutation(np.arange(n))
+    runner = facade_chain if mode == "facade" else pipeline_chain
+    benchmark.pedantic(
+        lambda: runner(keys, 0, _CONFIG), rounds=1, iterations=1
+    )
+    benchmark.extra_info["n"] = n
+    benchmark.extra_info["mode"] = mode

@@ -172,11 +172,60 @@ def main(argv: list[str] | None = None) -> int:
             elapsed = time.perf_counter() - start
             print(f"{name:>15}  {'-':>8}  {'-':>8}  {elapsed:>6.2f}  FAIL: {exc}")
             failures += 1
+    failures += run_pipeline_comparison(n, config, args.seed, json_dir)
     if failures:
         print(f"\n{failures} algorithm(s) failed")
         return 1
     print("\nall registered algorithms ran clean through the facade")
     return 0
+
+
+def run_pipeline_comparison(n, config, seed, json_dir) -> int:
+    """Run the 3-step shuffle→compact→sort chain both ways and report the
+    round-trip savings (BENCH_pipeline.json when ``--json`` is active)."""
+    from _workloads import facade_chain, pipeline_chain
+
+    keys = np.random.default_rng(seed).permutation(np.arange(n))
+    retry = RetryPolicy(max_attempts=8)
+    try:
+        start = time.perf_counter()
+        facade_ios, facade_trips, r3 = facade_chain(keys, seed, config, retry)
+        facade_secs = time.perf_counter() - start
+
+        start = time.perf_counter()
+        _, pipeline_trips, result = pipeline_chain(keys, seed, config, retry)
+        pipeline_secs = time.perf_counter() - start
+
+        assert np.array_equal(result.records, r3.records), "pipeline diverged"
+        assert result.total.total == facade_ios, "pipeline changed the model cost"
+        print(
+            f"\npipeline shuffle→compact→sort: {result.total.total} I/Os "
+            f"either way; round trips {facade_trips} → {pipeline_trips}, "
+            f"wall {facade_secs:.2f}s → {pipeline_secs:.2f}s"
+        )
+        if json_dir is not None:
+            artifact = {
+                "workload": "shuffle->compact->sort",
+                "n": n,
+                "M": config.M,
+                "B": config.B,
+                "backend": config.backend,
+                "seed": seed,
+                "total_ios": result.total.total,
+                "facade_round_trips": facade_trips,
+                "pipeline_round_trips": pipeline_trips,
+                "facade_wall_seconds": facade_secs,
+                "pipeline_wall_seconds": pipeline_secs,
+                "step_fingerprints": [
+                    s.cost.trace_fingerprint for s in result.steps
+                ],
+            }
+            path = json_dir / "BENCH_pipeline.json"
+            path.write_text(json.dumps(artifact, indent=2) + "\n")
+        return 0
+    except Exception as exc:  # noqa: BLE001 - report, then fail the run
+        print(f"\npipeline comparison FAILED: {exc}")
+        return 1
 
 
 if __name__ == "__main__":

@@ -1,19 +1,24 @@
-"""Private analytics over outsourced records: median and percentiles.
+"""Private analytics over outsourced records: one upload, one report.
 
 A company keeps salary records on rented storage, encrypted.  It wants
-the median and the quartiles — but running textbook quickselect on the
-server would let the provider watch the partition pattern and learn the
-distribution's shape.  The paper's selection (Theorem 13) and quantile
-(Theorem 17) algorithms answer in O(N/B) I/Os with an input-independent
-access pattern; the session facade retries their rare Las Vegas
-failures automatically, so no hand-rolled retry loop is needed.
+the median, the quartiles, and a sorted copy for archival — but running
+textbook quickselect on the server would let the provider watch the
+partition pattern and learn the distribution's shape.
+
+The paper's algorithms answer with input-independent access patterns;
+the *pipeline API* composes them the way the paper intends: the table is
+uploaded once, every intermediate stays machine-resident, and each step
+retries its rare Las Vegas failures independently.  ``explain()`` prices
+the whole plan from the paper's bounds before a single block I/O is
+spent — compare the sort step's ``n·log_m n`` against the linear
+selection steps and you can see where the I/O budget will go.
 
 Run:  python examples/private_analytics.py
 """
 
 import numpy as np
 
-from repro.api import EMConfig, ObliviousSession, make_records
+from repro.api import EMConfig, ObliviousSession, get_algorithm, make_records
 
 
 def main() -> None:
@@ -23,28 +28,51 @@ def main() -> None:
     table = make_records(salaries, values=np.arange(n))  # value = employee id
 
     with ObliviousSession(EMConfig(M=256, B=8), seed=100) as session:
-        sel = session.select(table, k=n // 2)
-        median, _employee = sel.value
-        true_median = int(np.sort(salaries)[n // 2 - 1])
-        print(f"median salary: {median}  (numpy says {true_median})")
-        assert median == true_median
+        # Build the plan DAG lazily: one shared shuffle feeds three
+        # consumers.  Nothing touches the machine yet.
+        staged = session.dataset(table).shuffle()
+        sorted_ds = staged.sort()          # archival copy (records out)
+        median_ds = staged.select(k=n // 2)
+        quartile_ds = staged.quantiles(q=3)
+        plan = session.plan(sorted_ds, median_ds, quartile_ds)
 
-        quart = session.quantiles(table, q=3)
-        quartiles = quart.value
-        s = np.sort(salaries)
-        expected = [int(s[max(1, min(n, round(i * n / 4))) - 1]) for i in (1, 2, 3)]
-        print(f"quartiles: {quartiles.tolist()}  (numpy says {expected})")
+        # Price it first — analytical estimates from the paper's bounds.
+        print(plan.explain())
+        print()
+
+        # Then pay for it: one upload, four steps, one download.
+        result = plan.run()
+
+        median, _employee = result.steps[2].value
+        quartiles = result.steps[3].value
+        true_sorted = np.sort(salaries)
+        assert median == int(true_sorted[n // 2 - 1])
+        expected = [
+            int(true_sorted[max(1, min(n, round(i * n / 4))) - 1]) for i in (1, 2, 3)
+        ]
         assert quartiles.tolist() == expected
+        assert np.array_equal(result.records[:, 0], true_sorted)
 
-        blocks = -(-n // session.config.B)
-        print(
-            f"\ncosts: selection {sel.cost.total} I/Os "
-            f"({sel.cost.attempts} attempt(s)), quantiles "
-            f"{quart.cost.total} I/Os ({quart.cost.attempts} attempt(s)) "
-            f"over {blocks} data blocks "
-            f"({sel.cost.total / blocks:.1f} and {quart.cost.total / blocks:.1f} "
-            "I/Os per block — linear, not sort-scale)"
+        print(f"median salary: {median}")
+        print(f"quartiles: {quartiles.tolist()}")
+        print(f"sorted archive: {len(result.records)} records downloaded")
+        print()
+        for step in result.steps:
+            print(f"  step {step.step} {step.algorithm:>9}: {step.cost}")
+        # The per-call facade would pay one upload per call, plus one
+        # download per record-producing call (value calls return no records).
+        facade_uploads = len(result.steps)
+        facade_downloads = sum(
+            1 for s in result.steps
+            if get_algorithm(s.algorithm).output == "records"
         )
+        print(
+            f"\npipeline total: {result.total.total} I/Os in "
+            f"{result.loads} upload and {result.extracts} download "
+            f"(the per-call facade would have paid {facade_uploads} uploads "
+            f"and {facade_downloads} downloads)"
+        )
+        print(f"session so far: {session.cost_summary()}")
 
 
 if __name__ == "__main__":

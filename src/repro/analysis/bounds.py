@@ -1,0 +1,126 @@
+"""Analytical I/O estimates from the paper's bounds, for ``plan.explain()``.
+
+Each entry maps a registered algorithm's ``cost_model`` to the paper
+bound that governs it and to a closed-form block-I/O estimate.  The
+paper states the bounds asymptotically; the leading constants here are
+calibrated against the implementation (measured at the reference shapes
+``(M=64, B=4)`` and ``(M=256, B=8)``, see ``tests/test_api_pipeline.py``)
+so that ``explain()`` predicts measured I/Os within a small constant
+factor — close enough to compare plans and spot the expensive step
+*before* paying for an execution.
+
+All estimates are functions of the input size in blocks ``n = ceil(N/B)``
+and the cache size in blocks ``m = M/B``; the ``params`` dict carries the
+step's call parameters (``q``, ``k``, …) for bounds that depend on them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from repro.util.mathx import log_base
+
+__all__ = ["IOBound", "PAPER_BOUNDS", "estimate_ios"]
+
+
+@dataclass(frozen=True)
+class IOBound:
+    """One paper bound: provenance, human-readable formula, estimator."""
+
+    name: str
+    source: str  #: where the bound comes from (theorem / lemma)
+    formula: str  #: human-readable growth law, in blocks n and cache m
+    estimate: Callable[[int, int, Mapping], float]  #: (n_blocks, m, params)
+
+
+def _logm(n: int, m: int) -> float:
+    """``max(1, log_m n)`` — the recursion depth factor."""
+    return max(1.0, log_base(max(2, n), max(2, m)))
+
+
+def _log2(n: int) -> float:
+    return max(1.0, math.log2(max(2, n)))
+
+
+#: Calibrated leading constants (implementation-measured; the paper gives
+#: only asymptotics).  Measured per-block constants across the reference
+#: shapes (M=64,B=4,n=512 … M=256,B=8,n=2048): compact 16–26, select and
+#: quantiles 87–173, sort 330–980 (its recursion constant is large and
+#: drifts with how many levels the shape needs — the paper's own
+#: constant-factor caveat).  The chosen values sit near the geometric
+#: means, keeping estimates within ~2× of measurements at those shapes;
+#: ``tests/test_api_pipeline.py`` pins a documented ×4 envelope.
+_C_COMPACT = 20.0
+_C_SELECT = 120.0
+_C_QUANTILES = 120.0
+_C_SORT = 550.0
+
+PAPER_BOUNDS: dict[str, IOBound] = {
+    "shuffle": IOBound(
+        name="shuffle",
+        source="Knuth block shuffle (§5)",
+        formula="4·n",
+        # Exact: each of the n swaps reads and rewrites both partners.
+        estimate=lambda n, m, params: 4.0 * n,
+    ),
+    "compact": IOBound(
+        name="compact",
+        source="Lemma 3 + Theorem 6",
+        formula="c·n·(1 + log_m n)",
+        # One consolidation scan plus the deterministic butterfly
+        # compaction (m-ary routing: log_m n passes of O(n) I/Os each).
+        estimate=lambda n, m, params: _C_COMPACT * n * (1.0 + _logm(n, m)),
+    ),
+    "select": IOBound(
+        name="select",
+        source="Theorem 13",
+        formula="c·n",
+        # Linear: O(1) scans plus compaction of an O(N/sqrt(N))-size
+        # candidate band.
+        estimate=lambda n, m, params: _C_SELECT * n,
+    ),
+    "quantiles": IOBound(
+        name="quantiles",
+        source="Theorem 17",
+        formula="c·n",
+        # Linear for q <= m^(1/4); the per-quantile refinement touches
+        # only sub-linear candidate bands.
+        estimate=lambda n, m, params: _C_QUANTILES * n,
+    ),
+    "sort": IOBound(
+        name="sort",
+        source="Theorem 21",
+        formula="c·n·log_m n",
+        # The optimal oblivious sort: per recursion level, quantiles +
+        # consolidation + shuffle-and-deal + loose compaction are all
+        # O(n); there are O(log_m n) levels.  The constant is large —
+        # the paper's own constant-factor caveat.
+        estimate=lambda n, m, params: _C_SORT * n * _logm(n, m),
+    ),
+    "merge_sort": IOBound(
+        name="merge_sort",
+        source="Aggarwal–Vitter (baseline, not oblivious)",
+        formula="2·n·(1 + log_m n)",
+        estimate=lambda n, m, params: 2.0 * n * (1.0 + _logm(n, m)),
+    ),
+    "bitonic_sort": IOBound(
+        name="bitonic_sort",
+        source="Lemma 2 substrate",
+        formula="c·n·log2²(n)",
+        estimate=lambda n, m, params: 0.5 * n * _log2(n) ** 2,
+    ),
+}
+
+
+def estimate_ios(
+    cost_model: str, n_blocks: int, m: int, params: Mapping | None = None
+) -> float:
+    """Estimated block I/Os for ``cost_model`` on ``n_blocks`` input blocks.
+
+    Raises ``KeyError`` for an unknown model — callers that tolerate
+    unmodelled algorithms should check :data:`PAPER_BOUNDS` membership.
+    """
+    bound = PAPER_BOUNDS[cost_model]
+    return float(bound.estimate(max(1, n_blocks), max(2, m), params or {}))

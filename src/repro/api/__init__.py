@@ -46,18 +46,46 @@ I/O counts and adversary-visible traces are identical across backends.
 Close the session (context manager or ``.close()``) to reclaim
 file-backed storage.
 
+Lazy pipelines
+--------------
+``session.dataset(data)`` opens a lazy :class:`~repro.api.plan.Dataset`
+handle with chainable oblivious operations; chains build an immutable
+plan DAG executed by the :class:`~repro.api.executor.Executor` with
+machine-resident intermediates (one client→server load, one
+server→client extract, per-step Las Vegas retry and per-step trace
+fingerprints)::
+
+    plan = session.dataset(keys).shuffle().compact().sort().plan()
+    print(plan.explain())      # analytical I/O estimates — nothing ran
+    result = plan.run()        # PlanResult: per-step CostReports + total
+
+The per-call facade remains fully supported — every facade method is now
+a thin single-node plan, so a facade call and the equivalent pipeline
+step are byte-identical in trace and cost.
+
 Registry
 --------
 ``session.run(name, …)`` dispatches through
 :mod:`repro.api.registry`; :func:`repro.api.registry.register` adds new
-algorithms (``randomized=True`` opts into the retry treatment).
+algorithms (``randomized=True`` opts into the retry treatment, and the
+declarative spec fields — ``output``, ``in_place``, ``out_items``,
+``cost_model`` — let the pipeline executor and ``explain()`` drive any
+registered kernel generically).
 """
 
 from repro.api.config import BACKENDS, EMConfig, RetryPolicy
+from repro.api.executor import Executor
+from repro.api.plan import Dataset, Plan, PlanExplain, PlanNode, StepEstimate
 from repro.api.registry import AlgorithmOutput, AlgorithmSpec, register, unregister
 from repro.api.registry import get as get_algorithm
 from repro.api.registry import names as algorithm_names
-from repro.api.result import CostReport, Result
+from repro.api.result import (
+    CostReport,
+    PlanResult,
+    Result,
+    SessionCostSummary,
+    StepResult,
+)
 from repro.api.session import ObliviousSession
 from repro.em.block import NULL_KEY, is_empty, make_block, make_records
 from repro.errors import LasVegasFailure, ReproError, RetryExhausted
@@ -69,6 +97,16 @@ __all__ = [
     "RetryPolicy",
     "Result",
     "CostReport",
+    # lazy pipelines
+    "Dataset",
+    "Plan",
+    "PlanNode",
+    "PlanExplain",
+    "StepEstimate",
+    "Executor",
+    "PlanResult",
+    "StepResult",
+    "SessionCostSummary",
     # registry
     "AlgorithmSpec",
     "AlgorithmOutput",

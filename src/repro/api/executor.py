@@ -1,0 +1,275 @@
+"""The plan executor: machine-resident intermediates, per-step retry.
+
+:class:`Executor` runs a :class:`repro.api.plan.Plan` on its session's
+machine.  The contract, step by step:
+
+* **One load, one extract.**  Each client source is uploaded once
+  (:meth:`~repro.em.machine.EMMachine.load_records`); intermediates are
+  handed from step to step *server-side*
+  (:meth:`~repro.em.machine.EMMachine.repack_resident` +
+  :meth:`~repro.em.machine.EMMachine.stage_records` — no client round
+  trip); only terminal record outputs are downloaded
+  (:meth:`~repro.em.machine.EMMachine.extract_records`).
+* **Facade-equivalent steps.**  A step's input array is staged exactly
+  as the facade would have loaded it (minimally sized, records packed),
+  its randomness comes from the same per-call derivation
+  ``SeedSequence(entropy=seed, spawn_key=(call_index, attempt))``, and
+  its trace fingerprint is snapshotted over exactly the successful
+  attempt's window — so each pipeline step's fingerprint is
+  byte-identical to the equivalent standalone facade call.
+* **Per-step Las Vegas retry.**  The server keeps a shadow copy of a
+  randomized step's input (taken up front for declared-mutating
+  ``in_place`` specs, lazily at failure time otherwise — non-in-place
+  runners must leave their input pristine, the
+  :class:`~repro.api.registry.AlgorithmSpec` contract); a failure frees
+  the attempt's arrays and restores the shadow into a fresh array (the
+  same allocation the facade's re-load would have made), then retries
+  with fresh derived randomness.  The retry budget is the session's
+  :class:`~repro.api.config.RetryPolicy`.
+* **Consumer-counted lifetime.**  Every intermediate is freed as soon
+  as its last consumer has run; a plan that fails leaves the machine's
+  array set exactly as it found it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.api.registry import AlgorithmSpec, get as get_spec
+from repro.api.result import CostReport, PlanResult, StepResult
+from repro.em.block import occupancy
+from repro.em.storage import EMArray
+from repro.errors import LasVegasFailure, RetryExhausted
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.plan import Plan
+    from repro.api.session import ObliviousSession
+
+__all__ = ["Executor"]
+
+
+class Executor:
+    """Runs plans for one :class:`~repro.api.session.ObliviousSession`."""
+
+    def __init__(self, session: "ObliviousSession") -> None:
+        self.session = session
+
+    def execute(self, plan: "Plan") -> PlanResult:
+        """Execute ``plan`` and return the per-step and total costs.
+
+        On any failure — Las Vegas exhaustion or a plain bug — every
+        array the plan allocated is freed before the exception
+        propagates, so the machine's array set returns to its pre-plan
+        state.
+        """
+        session = self.session
+        if session._closed:
+            raise RuntimeError("session is closed")
+        machine = session.machine
+        pre_plan = set(machine._arrays)
+        loads_before = machine.client_loads
+        extracts_before = machine.client_extracts
+        try:
+            steps = self._execute_nodes(plan)
+        except BaseException:
+            for array_id in set(machine._arrays) - pre_plan:
+                machine.free(machine._arrays[array_id])
+            raise
+        total = CostReport(
+            reads=sum(s.cost.reads for s in steps),
+            writes=sum(s.cost.writes for s in steps),
+            attempts=sum(s.cost.attempts for s in steps),
+            trace_fingerprint=None,
+            batches=sum(s.cost.batches for s in steps),
+            batched_ios=sum(s.cost.batched_ios for s in steps),
+        )
+        return PlanResult(
+            steps=tuple(steps),
+            total=total,
+            loads=machine.client_loads - loads_before,
+            extracts=machine.client_extracts - extracts_before,
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _execute_nodes(self, plan: "Plan") -> list[StepResult]:
+        session = self.session
+        machine = session.machine
+        # Producer node id → its packed output, waiting for consumers.
+        # Each consumer's input array is staged lazily, right before its
+        # step runs, so only one staged copy is resident at a time even
+        # under DAG fan-out; the payload is dropped after the last
+        # consumer has been staged.  ``client`` marks a payload whose
+        # first staging is the plan's client→server upload.
+        pending: dict[int, dict] = {}
+        steps: list[StepResult] = []
+        for node in plan.nodes:
+            consumers = plan.consumers[id(node)]
+            if node.is_source:
+                if not consumers:
+                    continue
+                if node.resident is not None:
+                    # Server-local snapshot, layout (NULL rows) preserved;
+                    # the caller's array stays untouched.
+                    layout = node.resident.flat()
+                    pending[id(node)] = {
+                        "records": layout,
+                        "n": occupancy(layout),
+                        "client": False,
+                        "remaining": len(consumers),
+                    }
+                else:
+                    pending[id(node)] = {
+                        "records": node.records,
+                        "n": occupancy(node.records),
+                        "client": True,
+                        "remaining": len(consumers),
+                    }
+                continue
+            spec = get_spec(node.op)
+            source = pending[id(node.inputs[0])]
+            if source["client"]:
+                A = machine.load_records(
+                    source["records"], f"{spec.name}{session._calls}"
+                )
+                source["client"] = False  # later consumers stage server-side
+            else:
+                A = machine.stage_records(
+                    source["records"], f"{spec.name}{session._calls}"
+                )
+            n_items = source["n"]
+            source["remaining"] -= 1
+            if source["remaining"] == 0:
+                del pending[id(node.inputs[0])]
+            call_index = session._calls
+            session._calls += 1
+            A, out, cost, before = self._run_step(
+                spec, A, n_items, node.params, call_index
+            )
+            session._note_step(cost)
+            # Free the attempt's scratch: everything it allocated except
+            # the output array.
+            keep = {out.array.array_id} if out.array is not None else set()
+            for array_id in (set(machine._arrays) - before) - keep:
+                machine.free(machine._arrays[array_id])
+            records = None
+            if spec.output == "records":
+                if out.array is None:
+                    raise RuntimeError(
+                        f"algorithm {spec.name!r} declares record output "
+                        "but its runner returned no array"
+                    )
+                if out.array is not A:
+                    machine.free(A)
+                if consumers:
+                    # Server-local handoff: pack the intermediate; each
+                    # consumer's input is staged from it lazily, just
+                    # before that consumer runs — no client round trip.
+                    packed = machine.repack_resident(
+                        out.array, f"{node.op}{call_index}.out"
+                    )
+                    pending[id(node)] = {
+                        "records": packed,
+                        "n": len(packed),
+                        "client": False,
+                        "remaining": len(consumers),
+                    }
+                else:
+                    # Terminal record output: the one server→client extract.
+                    records = machine.extract_records(out.array)
+                    machine.free(out.array)
+            else:
+                # Value output (terminal by plan construction): this step
+                # was the input's last consumer.
+                if out.array is not None and out.array is not A:
+                    machine.free(out.array)
+                machine.free(A)
+            steps.append(
+                StepResult(
+                    step=len(steps),
+                    algorithm=spec.name,
+                    n_items=n_items,
+                    cost=cost,
+                    value=out.value,
+                    records=records,
+                    params=dict(node.params, n=n_items, seed=session.seed),
+                )
+            )
+        return steps
+
+    def _run_step(
+        self,
+        spec: AlgorithmSpec,
+        A: EMArray,
+        n_items: int,
+        params,
+        call_index: int,
+    ):
+        """Run one step with per-attempt derived randomness and bounded
+        Las Vegas retry; returns ``(input_array, output, cost, before)``
+        where ``before`` is the successful attempt's pre-existing array
+        set (the caller frees the attempt's scratch against it)."""
+        session = self.session
+        machine = session.machine
+        attempts = session.retry.max_attempts if spec.randomized else 1
+        # Server-side shadow of the step input: a retry restores it into
+        # a fresh array — the same allocation the facade's per-attempt
+        # re-load makes, minus the client round trip.  Only in-place
+        # specs (declared mutators) pay for the copy up front; other
+        # runners leave their input pristine (the AlgorithmSpec
+        # contract), so the shadow is captured lazily at failure time.
+        shadow = A._data.copy() if attempts > 1 and spec.in_place else None
+        shadow_name = A.name
+        last: LasVegasFailure | None = None
+        for attempt in range(attempts):
+            before = set(machine._arrays)
+            mark = machine.trace.mark()
+            rng = session._derive_rng(call_index, attempt)
+            try:
+                with machine.metered() as meter:
+                    out = spec.runner(machine, A, n_items, rng, dict(params))
+            except LasVegasFailure as exc:
+                exc.attempt = attempt + 1
+                exc.seed = session.seed
+                last = exc
+                for array_id in set(machine._arrays) - before:
+                    machine.free(machine._arrays[array_id])
+                if shadow is None and attempt + 1 < attempts:
+                    shadow = A._data.copy()
+                machine.free(A)
+                if attempt + 1 < attempts:
+                    A = machine.alloc_cells(max(1, A.num_cells), shadow_name)
+                    A._data[...] = shadow
+                    continue
+                break
+            except BaseException:
+                # Non-retryable errors: reclaim this attempt's scratch;
+                # Executor.execute frees the rest of the plan's arrays.
+                for array_id in set(machine._arrays) - before:
+                    machine.free(machine._arrays[array_id])
+                raise
+            if spec.in_place and out.array is not None and out.array is not A:
+                raise RuntimeError(
+                    f"algorithm {spec.name!r} declares in_place but its "
+                    "runner returned a different array than its input"
+                )
+            fingerprint = (
+                machine.trace.fingerprint(since=mark)
+                if machine.trace.enabled
+                else None
+            )
+            cost = CostReport(
+                reads=meter.reads,
+                writes=meter.writes,
+                attempts=attempt + 1,
+                trace_fingerprint=fingerprint,
+                batches=meter.batches,
+                batched_ios=meter.batched_ios,
+            )
+            return A, out, cost, before
+        raise RetryExhausted(
+            f"{spec.name!r} failed all {attempts} attempts "
+            f"(seed {session.seed}): {last}",
+            attempt=attempts,
+            seed=session.seed,
+        ) from last

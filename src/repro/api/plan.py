@@ -1,0 +1,355 @@
+"""Lazy oblivious pipelines: composable plans over a session's machine.
+
+The paper's algorithms are designed to be *composed* — selection calls
+compaction, the sort calls quantiles and the shuffle — yet the per-call
+facade treats every call as an island: one client→server load, one
+kernel, one server→client extract.  This module adds the composition
+layer:
+
+* :class:`Dataset` — a lazy handle to records (client data or an
+  already-resident :class:`~repro.em.storage.EMArray`) with chainable
+  oblivious operations.  Each operation returns a *new* handle; nothing
+  executes until :meth:`Dataset.run`.
+* :class:`PlanNode` — one immutable node of the plan DAG a chain of
+  ``Dataset`` operations builds up.
+* :class:`Plan` — a set of target datasets to materialize together,
+  with :meth:`Plan.explain` (analytical per-step I/O estimates from the
+  paper's bounds, *without executing*) and :meth:`Plan.run` (the
+  :class:`~repro.api.executor.Executor`, which keeps intermediates
+  machine-resident between steps).
+
+A three-step chain therefore pays exactly one client→server load and
+one server→client extract::
+
+    ds = session.dataset(keys)
+    plan = ds.shuffle().compact().sort().plan()
+    print(plan.explain())        # per-step I/O estimates, nothing ran
+    result = plan.run()          # one load, three steps, one extract
+    result.steps[1].cost         # per-step CostReport with fingerprint
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+import numpy as np
+
+from repro.analysis.bounds import PAPER_BOUNDS
+from repro.api.registry import get as get_spec
+from repro.em.block import occupancy
+from repro.em.storage import EMArray
+from repro.util.mathx import ceil_div
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.api.result import PlanResult
+    from repro.api.session import ObliviousSession
+
+__all__ = ["PlanNode", "Dataset", "Plan", "StepEstimate", "PlanExplain"]
+
+#: Global construction counter — gives every node a sequence number, so a
+#: plan's topological order is simply "sort by seq" (parents are always
+#: created before their consumers).
+_NODE_SEQ = itertools.count()
+
+
+@dataclass(frozen=True, eq=False)
+class PlanNode:
+    """One immutable node of a plan DAG.
+
+    ``op`` names a registered algorithm, or is ``None`` for source nodes
+    (which carry either client ``records`` or a machine-``resident``
+    array instead).  Nodes compare by identity; sharing a node between
+    two chains expresses a DAG with fan-out.
+    """
+
+    op: str | None
+    params: Mapping[str, Any] = field(default_factory=dict)
+    inputs: tuple["PlanNode", ...] = ()
+    records: np.ndarray | None = None
+    resident: EMArray | None = None
+    n_items: int = 0
+    seq: int = field(default_factory=lambda: next(_NODE_SEQ))
+
+    @property
+    def is_source(self) -> bool:
+        return self.op is None
+
+    def lineage(self) -> list["PlanNode"]:
+        """All nodes reachable from this one, in topological order."""
+        seen: dict[int, PlanNode] = {}
+
+        def walk(node: PlanNode) -> None:
+            if id(node) in seen:
+                return
+            for parent in node.inputs:
+                walk(parent)
+            seen[id(node)] = node
+
+        walk(self)
+        return sorted(seen.values(), key=lambda n: n.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_source:
+            kind = "resident" if self.resident is not None else "client"
+            return f"PlanNode(source[{kind}], n={self.n_items})"
+        return f"PlanNode({self.op}, params={dict(self.params)})"
+
+
+class Dataset:
+    """Lazy, chainable handle to records destined for a session's machine.
+
+    Obtained from :meth:`repro.api.ObliviousSession.dataset`.  Chaining
+    operations builds an immutable plan DAG; sharing an intermediate
+    handle between two chains shares the underlying node (executed once,
+    freed after its last consumer)::
+
+        shuffled = session.dataset(keys).shuffle()
+        a = shuffled.sort()          # both consume the same shuffle
+        b = shuffled.quantiles(q=4)  # output — a DAG, not two chains
+
+    Nothing touches the machine until :meth:`run` (or ``Plan.run``).
+    """
+
+    def __init__(self, session: "ObliviousSession", node: PlanNode) -> None:
+        self._session = session
+        self.node = node
+
+    # -- chainable operations ---------------------------------------------
+
+    def apply(self, algorithm: str, **params: Any) -> "Dataset":
+        """Append a registered ``algorithm`` to this handle's lineage."""
+        spec = get_spec(algorithm)  # unknown names raise KeyError eagerly
+        parent = self.node
+        if parent.op is not None and get_spec(parent.op).output == "value":
+            raise TypeError(
+                f"cannot chain {algorithm!r} after value-producing "
+                f"{parent.op!r} — value steps are terminal"
+            )
+        node = PlanNode(
+            op=spec.name,
+            params=dict(params),
+            inputs=(parent,),
+        )
+        return Dataset(self._session, node)
+
+    def sort(self, **params: Any) -> "Dataset":
+        """Oblivious sort (Theorem 21)."""
+        return self.apply("sort", **params)
+
+    def compact(self, **params: Any) -> "Dataset":
+        """Tight record compaction (Lemma 3 + Theorem 6); pass
+        ``capacity_blocks`` to bound the output."""
+        return self.apply("compact", **params)
+
+    def shuffle(self, **params: Any) -> "Dataset":
+        """Uniform oblivious block shuffle (in place)."""
+        return self.apply("shuffle", **params)
+
+    def select(self, k: int, **params: Any) -> "Dataset":
+        """k-th smallest (Theorem 13) — a terminal, value-producing step."""
+        return self.apply("select", k=k, **params)
+
+    def quantiles(self, q: int, **params: Any) -> "Dataset":
+        """q quantile keys (Theorem 17) — a terminal, value-producing step."""
+        return self.apply("quantiles", q=q, **params)
+
+    # -- materialization ---------------------------------------------------
+
+    def plan(self) -> "Plan":
+        """Freeze this handle's lineage into an executable :class:`Plan`."""
+        return Plan(self._session, [self])
+
+    def explain(self) -> "PlanExplain":
+        """Per-step analytical I/O estimates — nothing executes."""
+        return self.plan().explain()
+
+    def run(self) -> "PlanResult":
+        """Execute this handle's lineage (one load, one extract)."""
+        return self.plan().run()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        chain = " → ".join(
+            n.op or "source" for n in self.node.lineage()
+        )
+        return f"Dataset({chain})"
+
+
+@dataclass(frozen=True)
+class StepEstimate:
+    """``explain()``'s prediction for one step — no execution involved."""
+
+    step: int
+    algorithm: str
+    n_items: int  #: estimated input record count
+    blocks: int  #: estimated input size in blocks
+    est_ios: float | None  #: analytical block-I/O estimate (None: no model)
+    formula: str | None  #: growth law, in blocks n and cache m
+    source: str | None  #: paper provenance of the bound
+    randomized: bool
+
+
+@dataclass(frozen=True)
+class PlanExplain:
+    """The cost picture of a plan *before* running it.
+
+    Per-step analytical estimates from the paper's bounds next to the
+    machine shape they were evaluated at.  Estimates use calibrated
+    leading constants (see :mod:`repro.analysis.bounds`) and are meant
+    for plan comparison and hot-spot spotting, not exact prediction.
+    """
+
+    steps: tuple[StepEstimate, ...]
+    M: int
+    B: int
+
+    @property
+    def m(self) -> int:
+        """Cache size in blocks."""
+        return self.M // self.B
+
+    @property
+    def total_est_ios(self) -> float:
+        """Sum of the per-step estimates (unmodelled steps contribute 0)."""
+        return sum(s.est_ios or 0.0 for s in self.steps)
+
+    def __str__(self) -> str:
+        lines = [
+            f"plan on EMMachine(M={self.M}, B={self.B}, m={self.m}) — "
+            "analytical estimates, nothing executed",
+            f"{'step':>4}  {'algorithm':<12} {'n':>8} {'blocks':>7} "
+            f"{'est I/Os':>10}  bound",
+        ]
+        for s in self.steps:
+            est = f"{s.est_ios:>10.0f}" if s.est_ios is not None else f"{'?':>10}"
+            bound = (
+                f"{s.formula}  [{s.source}]" if s.formula else "(no model)"
+            )
+            lines.append(
+                f"{s.step:>4}  {s.algorithm:<12} {s.n_items:>8} "
+                f"{s.blocks:>7} {est}  {bound}"
+            )
+        lines.append(f"{'total':>4}  {'':<12} {'':>8} {'':>7} "
+                     f"{self.total_est_ios:>10.0f}")
+        return "\n".join(lines)
+
+
+class Plan:
+    """An immutable, executable set of target datasets.
+
+    ``nodes`` is the full DAG in topological (construction) order;
+    ``consumers`` maps each node to the algorithm nodes that read its
+    output — the executor frees an intermediate as soon as its last
+    consumer has run.
+    """
+
+    def __init__(
+        self, session: "ObliviousSession", targets: Iterable[Dataset]
+    ) -> None:
+        targets = tuple(targets)
+        if not targets:
+            raise ValueError("a plan needs at least one target dataset")
+        for t in targets:
+            if t._session is not session:
+                raise ValueError("all plan targets must share one session")
+        self.session = session
+        self.targets = targets
+        seen: dict[int, PlanNode] = {}
+        for t in targets:
+            for node in t.node.lineage():
+                seen[id(node)] = node
+        self.nodes: tuple[PlanNode, ...] = tuple(
+            sorted(seen.values(), key=lambda n: n.seq)
+        )
+        if all(n.is_source for n in self.nodes):
+            raise ValueError(
+                "plan has no algorithm steps — chain an operation "
+                "(e.g. .sort()) onto the dataset before plan()/run()/explain()"
+            )
+        consumers: dict[int, list[PlanNode]] = {id(n): [] for n in self.nodes}
+        for node in self.nodes:
+            for parent in node.inputs:
+                consumers[id(parent)].append(node)
+        self.consumers = consumers
+
+    def explain(self) -> PlanExplain:
+        """Per-step analytical I/O estimates from the paper's bounds.
+
+        Input sizes are propagated through the DAG with each spec's
+        declared ``out_items`` rule; nothing is loaded or executed.
+        """
+        B = self.session.config.B
+        m = max(2, self.session.config.M // B)
+        n_of: dict[int, int] = {}
+        steps: list[StepEstimate] = []
+        for node in self.nodes:
+            if node.is_source:
+                n_of[id(node)] = node.n_items
+                continue
+            spec = get_spec(node.op)
+            n_in = n_of[id(node.inputs[0])]
+            blocks = ceil_div(max(1, n_in), B)
+            est = formula = source = None
+            if spec.cost_model is not None and spec.cost_model in PAPER_BOUNDS:
+                bound = PAPER_BOUNDS[spec.cost_model]
+                est = float(bound.estimate(blocks, m, node.params))
+                formula, source = bound.formula, bound.source
+            steps.append(
+                StepEstimate(
+                    step=len(steps),
+                    algorithm=node.op,
+                    n_items=n_in,
+                    blocks=blocks,
+                    est_ios=est,
+                    formula=formula,
+                    source=source,
+                    randomized=spec.randomized,
+                )
+            )
+            n_of[id(node)] = spec.estimate_out_items(n_in, dict(node.params))
+        return PlanExplain(
+            steps=tuple(steps),
+            M=self.session.config.M,
+            B=self.session.config.B,
+        )
+
+    def run(self) -> "PlanResult":
+        """Execute the plan: one client→server load per source, all
+        intermediates machine-resident, one server→client extract per
+        record-producing terminal."""
+        from repro.api.executor import Executor
+
+        return Executor(self.session).execute(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        chain = " → ".join(n.op or "source" for n in self.nodes)
+        return f"Plan({chain})"
+
+
+def make_source(session: "ObliviousSession", data: Any) -> Dataset:
+    """Build a source :class:`Dataset` from client data or a resident array.
+
+    Client data is normalized exactly like a facade call's input (1-D
+    keys or an ``(n, 2)`` record array, ``NULL_KEY`` rows allowed); an
+    :class:`~repro.em.storage.EMArray` already on the session's machine
+    becomes a resident source — the plan reads it without a client
+    round trip and leaves the original array untouched.
+    """
+    from repro.api.session import _as_records
+
+    if isinstance(data, EMArray):
+        if session.machine._arrays.get(data.array_id) is not data:
+            raise ValueError(
+                f"array {data.name!r} is not resident on this session's "
+                "machine — pass client data or an array this machine owns"
+            )
+        node = PlanNode(
+            op=None,
+            resident=data,
+            n_items=occupancy(data.raw.reshape(-1, data.raw.shape[-1])),
+        )
+    else:
+        records = _as_records(data)
+        node = PlanNode(op=None, records=records, n_items=occupancy(records))
+    return Dataset(session, node)

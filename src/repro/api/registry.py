@@ -59,12 +59,57 @@ Runner = Callable[
 
 @dataclass(frozen=True)
 class AlgorithmSpec:
-    """One registered algorithm."""
+    """One registered algorithm.
+
+    Beyond the runner itself, a spec *declares* how the algorithm behaves
+    so that generic drivers — the session facade and the pipeline
+    executor (:mod:`repro.api.executor`) — can run it without
+    per-algorithm code:
+
+    ``randomized``
+        Las Vegas: the runner may raise a
+        :class:`repro.errors.LasVegasFailure` and is retried with fresh
+        derived randomness under the session's
+        :class:`~repro.api.config.RetryPolicy`.
+    ``output``
+        ``"records"`` if the runner produces an output record array
+        (chainable in a pipeline), ``"value"`` if it produces only a
+        Python-level value (terminal in a pipeline).
+    ``in_place``
+        The output array *is* the input array (the runner permutes or
+        rewrites it rather than allocating a fresh result).  This is a
+        contract both ways: runners that mutate their input **must**
+        declare ``in_place=True`` — the pipeline executor relies on
+        non-in-place inputs staying pristine to restore a step cheaply
+        on a Las Vegas retry, and only pays for an up-front shadow copy
+        of the input when the spec declares mutation.
+    ``cost_model``
+        Key into :data:`repro.analysis.bounds.PAPER_BOUNDS` naming the
+        paper bound that governs this algorithm's I/O cost; ``None``
+        leaves ``explain()`` estimates unavailable for the step.
+    """
 
     name: str
     summary: str
     runner: Runner
     randomized: bool = False
+    output: str = "records"
+    in_place: bool = False
+    cost_model: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.output not in ("records", "value"):
+            raise ValueError(
+                f"output must be 'records' or 'value', got {self.output!r}"
+            )
+
+    def estimate_out_items(self, n_items: int, params: dict) -> int:
+        """Estimated output record count for ``n_items`` input records.
+
+        All current algorithms preserve the record count (or produce
+        only a value); ``plan.explain()`` uses this to propagate sizes
+        through a chain without executing."""
+        return 0 if self.output == "value" else n_items
 
 
 _REGISTRY: dict[str, AlgorithmSpec] = {}
@@ -178,42 +223,54 @@ register(AlgorithmSpec(
     "Theorem 21 oblivious external-memory sort",
     _run_sort,
     randomized=True,
+    cost_model="sort",
 ))
 register(AlgorithmSpec(
     "merge_sort",
     "classical external merge sort (optimal, NOT oblivious)",
     _run_merge_sort,
+    cost_model="merge_sort",
 ))
 register(AlgorithmSpec(
     "bitonic_sort",
     "oblivious bitonic strawman sort (Lemma 2 substrate)",
     _run_bitonic_sort,
+    cost_model="bitonic_sort",
 ))
 register(AlgorithmSpec(
     "compact",
     "record-level tight compaction (Lemma 3 + Theorem 6)",
     _run_compact,
+    cost_model="compact",
 ))
 register(AlgorithmSpec(
     "select",
     "Theorem 13 k-th smallest selection",
     _run_select,
     randomized=True,
+    output="value",
+    cost_model="select",
 ))
 register(AlgorithmSpec(
     "sort_then_pick",
     "selection baseline: oblivious sort, then scan to rank k",
     _run_sort_then_pick,
+    output="value",
+    cost_model="sort",
 ))
 register(AlgorithmSpec(
     "quantiles",
     "Theorem 17 q-quantile selection",
     _run_quantiles,
     randomized=True,
+    output="value",
+    cost_model="quantiles",
 ))
 register(AlgorithmSpec(
     "shuffle",
     "Knuth block shuffle (uniform block permutation, in place)",
     _run_shuffle,
     randomized=True,
+    in_place=True,
+    cost_model="shuffle",
 ))

@@ -1,4 +1,14 @@
-"""Uniform call results: output records + cost report + parameters."""
+"""Uniform call results: output records + cost report + parameters.
+
+Three layers of reporting share the :class:`CostReport` vocabulary:
+
+* :class:`Result` — one facade call (``session.sort(...)``);
+* :class:`StepResult` / :class:`PlanResult` — one pipeline step and a
+  whole executed plan (``plan.run()``), each step carrying its own
+  snapshotted trace fingerprint;
+* :class:`SessionCostSummary` — the cumulative view across every call
+  and pipeline step a session has made (``session.cost_summary()``).
+"""
 
 from __future__ import annotations
 
@@ -7,7 +17,13 @@ from typing import Any, Mapping
 
 import numpy as np
 
-__all__ = ["CostReport", "Result"]
+__all__ = [
+    "CostReport",
+    "Result",
+    "StepResult",
+    "PlanResult",
+    "SessionCostSummary",
+]
 
 
 @dataclass(frozen=True)
@@ -107,3 +123,108 @@ class Result:
     def __str__(self) -> str:
         n = "-" if self.records is None else str(len(self.records))
         return f"Result({self.algorithm}, {n} records, {self.cost})"
+
+
+@dataclass(frozen=True)
+class StepResult:
+    """One executed pipeline step.
+
+    ``cost.trace_fingerprint`` is snapshotted *per step* (the transcript
+    window covering exactly this step's successful attempt), so a
+    pipeline's steps can each be compared against the equivalent
+    standalone facade call.  ``records`` is populated only for terminal
+    record-producing steps (the single server→client extract); ``value``
+    carries value outputs (selection pairs, quantile keys).
+    """
+
+    step: int
+    algorithm: str
+    n_items: int
+    cost: CostReport
+    value: Any = None
+    records: np.ndarray | None = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        n = "-" if self.records is None else str(len(self.records))
+        return f"StepResult(#{self.step} {self.algorithm}, {n} records, {self.cost})"
+
+
+@dataclass(frozen=True)
+class PlanResult:
+    """Everything one executed :class:`repro.api.plan.Plan` produced.
+
+    ``steps`` holds one :class:`StepResult` per algorithm node in
+    execution order; ``total`` aggregates their costs (its ``attempts``
+    is the sum over steps; no single fingerprint covers a whole pipeline
+    — read the per-step ones).  ``loads`` / ``extracts`` count the
+    client↔server round trips the plan paid: 1 and 1 for any linear
+    chain, however many steps it has.
+    """
+
+    steps: tuple[StepResult, ...]
+    total: CostReport
+    loads: int
+    extracts: int
+
+    @property
+    def records(self) -> np.ndarray:
+        """Extracted records of the final record-producing terminal step."""
+        for step in reversed(self.steps):
+            if step.records is not None:
+                return step.records
+        raise ValueError(
+            "plan produced no record output; use .value or .steps"
+        )
+
+    @property
+    def value(self) -> Any:
+        """Value output of the final value-producing step."""
+        for step in reversed(self.steps):
+            if step.value is not None:
+                return step.value
+        raise ValueError("plan produced no value output; use .records or .steps")
+
+    def __str__(self) -> str:
+        chain = " → ".join(s.algorithm for s in self.steps)
+        return (
+            f"PlanResult({chain}: {self.total}, "
+            f"{self.loads} load(s), {self.extracts} extract(s))"
+        )
+
+
+@dataclass(frozen=True)
+class SessionCostSummary:
+    """Cumulative cost across every call and pipeline step of a session.
+
+    ``steps`` counts executed algorithm steps (a facade call is one
+    step); ``attempts`` includes Las Vegas retries.  ``reads`` / ``writes``
+    / ``batches`` / ``batched_ios`` sum the *successful* attempts'
+    traffic, matching how per-call :class:`CostReport`\\ s are scoped;
+    ``machine_ios`` is the machine's raw lifetime counter (all attempts,
+    plus any direct machine-level work such as ORAM traffic).  ``loads``
+    and ``extracts`` count client↔server round trips.
+    """
+
+    steps: int
+    attempts: int
+    reads: int
+    writes: int
+    batches: int
+    batched_ios: int
+    loads: int
+    extracts: int
+    machine_ios: int
+
+    @property
+    def total(self) -> int:
+        """Total block I/Os across all successful attempts."""
+        return self.reads + self.writes
+
+    def __str__(self) -> str:
+        return (
+            f"{self.steps} step(s), {self.attempts} attempt(s): "
+            f"{self.total} I/Os ({self.reads} reads, {self.writes} writes), "
+            f"{self.batches} batches, {self.loads} load(s), "
+            f"{self.extracts} extract(s)"
+        )

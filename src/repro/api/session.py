@@ -5,19 +5,30 @@ A session owns an :class:`~repro.em.machine.EMMachine` (built from an
 single seed, retries Las Vegas failures within a bounded
 :class:`~repro.api.config.RetryPolicy`, and wraps every call's output in
 a :class:`~repro.api.result.Result` carrying a unified cost report.
+
+Since the pipeline redesign the facade methods are thin *single-node
+plans*: ``session.sort(keys)`` builds a one-step
+:class:`~repro.api.plan.Plan` and runs it through the
+:class:`~repro.api.executor.Executor` — exactly the machinery behind
+``session.dataset(keys).shuffle().compact().sort().run()``, so a facade
+call and the equivalent pipeline step produce byte-identical traces and
+costs.  Use :meth:`dataset` to chain steps with machine-resident
+intermediates (one load, one extract for the whole chain).
 """
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from repro.api.config import EMConfig, RetryPolicy
-from repro.api.registry import get as get_spec, names as algorithm_names
-from repro.api.result import CostReport, Result
-from repro.em.block import RECORD_WIDTH, make_records, occupancy
-from repro.errors import LasVegasFailure, RetryExhausted
+from repro.api.registry import names as algorithm_names
+from repro.api.result import Result, SessionCostSummary
+from repro.em.block import RECORD_WIDTH, make_records
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.api.plan import Dataset, Plan
 
 __all__ = ["ObliviousSession"]
 
@@ -52,7 +63,9 @@ class ObliviousSession:
         Root seed.  Call ``i``'s attempt ``a`` draws from
         ``SeedSequence(entropy=seed, spawn_key=(i, a))`` — one integer
         reproduces an entire session, and every retry sees fresh,
-        independent randomness.
+        independent randomness.  Pipeline steps consume call indices in
+        execution order, so a pipeline and the equivalent sequence of
+        facade calls derive identical randomness.
     retry:
         Las Vegas retry budget; defaults to :class:`RetryPolicy`.
     **overrides:
@@ -84,90 +97,82 @@ class ObliviousSession:
         self.machine = config.make_machine()
         self._calls = 0
         self._closed = False
+        self._cum_steps = 0
+        self._cum_attempts = 0
+        self._cum_reads = 0
+        self._cum_writes = 0
+        self._cum_batches = 0
+        self._cum_batched_ios = 0
+
+    # -- lazy pipelines ----------------------------------------------------
+
+    def dataset(self, data) -> "Dataset":
+        """A lazy :class:`~repro.api.plan.Dataset` handle over ``data``.
+
+        ``data`` is client data (1-D keys or an ``(n, 2)`` record array,
+        ``NULL_KEY`` rows allowed) or an :class:`~repro.em.storage.EMArray`
+        already resident on this session's machine.  Chain oblivious
+        operations and execute them as one plan::
+
+            plan = session.dataset(keys).shuffle().compact().sort().plan()
+            print(plan.explain())   # analytical I/O estimates, nothing ran
+            result = plan.run()     # one load, N steps, one extract
+
+        Intermediates stay machine-resident between steps; each step
+        retries Las Vegas failures independently and snapshots its own
+        trace fingerprint into a per-step
+        :class:`~repro.api.result.CostReport`.
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        from repro.api.plan import make_source
+
+        return make_source(self, data)
+
+    def pipeline(self, data) -> "Dataset":
+        """Alias of :meth:`dataset`."""
+        return self.dataset(data)
+
+    def plan(self, *targets) -> "Plan":
+        """Freeze several :class:`~repro.api.plan.Dataset` targets into
+        one :class:`~repro.api.plan.Plan` (a DAG with shared lineage is
+        executed once per node)."""
+        from repro.api.plan import Plan
+
+        return Plan(self, targets)
 
     # -- generic dispatch --------------------------------------------------
 
     def run(self, algorithm: str, data, **params: Any) -> Result:
         """Run a registered ``algorithm`` over ``data``.
 
-        Loads the records onto the session's machine, executes the
-        registered runner with a per-attempt derived RNG, retries Las
-        Vegas failures up to ``retry.max_attempts`` times, and returns a
+        A thin single-node plan: loads the records onto the session's
+        machine, executes the registered runner with a per-attempt
+        derived RNG, retries Las Vegas failures up to
+        ``retry.max_attempts`` times, extracts the output, and returns a
         :class:`Result`.  Raises :class:`repro.errors.RetryExhausted`
         when every attempt fails.
 
-        Every call frees the server arrays it allocated and, when
-        tracing is enabled, **clears the machine's trace** at the start
-        of each attempt so ``cost.trace_fingerprint`` covers exactly one
-        attempt — mixing facade calls with machine-level work (e.g.
-        :meth:`oram` traffic) on the same session therefore loses the
-        earlier trace history; fingerprint such work before calling
-        :meth:`run`.
+        Every call frees the server arrays it allocated, and its
+        ``cost.trace_fingerprint`` is snapshotted over exactly the
+        successful attempt's transcript window — the machine's trace is
+        *not* cleared, so machine-level work (e.g. :meth:`oram` traffic)
+        interleaved with facade calls keeps its history and can be
+        fingerprinted at any time via
+        ``machine.trace.fingerprint(since=mark)``.
         """
         if self._closed:
             raise RuntimeError("session is closed")
-        spec = get_spec(algorithm)
-        records = _as_records(data)
-        n_items = occupancy(records)
-        call_index = self._calls
-        self._calls += 1
-        echoed = dict(params, n=n_items, seed=self.seed)
-
-        machine = self.machine
-        attempts = self.retry.max_attempts if spec.randomized else 1
-        last: LasVegasFailure | None = None
-        for attempt in range(attempts):
-            before = set(machine._arrays)
-            A = machine.alloc_cells(
-                max(1, len(records)), f"{spec.name}{call_index}"
-            )
-            A.load_flat(records)
-            if machine.trace.enabled:
-                machine.trace.clear()
-            rng = self._derive_rng(call_index, attempt)
-            try:
-                with machine.metered() as meter:
-                    out = spec.runner(machine, A, n_items, rng, dict(params))
-            except LasVegasFailure as exc:
-                exc.attempt = attempt + 1
-                exc.seed = self.seed
-                last = exc
-                self._free_new_arrays(before)
-                continue
-            except BaseException:
-                # Non-retryable errors (bad keys, assumption violations,
-                # bugs): still reclaim this attempt's arrays, then re-raise.
-                self._free_new_arrays(before)
-                raise
-            extracted = out.array.nonempty() if out.array is not None else None
-            fingerprint = (
-                machine.trace.fingerprint() if machine.trace.enabled else None
-            )
-            # Reclaim everything this attempt allocated — the input, the
-            # output, and any scratch a runner left behind — so calls
-            # never accumulate server arrays (or memmap backing files).
-            self._free_new_arrays(before)
-            cost = CostReport(
-                reads=meter.reads,
-                writes=meter.writes,
-                attempts=attempt + 1,
-                trace_fingerprint=fingerprint,
-                batches=meter.batches,
-                batched_ios=meter.batched_ios,
-            )
-            return Result(
-                algorithm=spec.name,
-                records=extracted,
-                value=out.value,
-                cost=cost,
-                params=echoed,
-            )
-        raise RetryExhausted(
-            f"{spec.name!r} failed all {attempts} attempts "
-            f"(seed {self.seed}): {last}",
-            attempt=attempts,
-            seed=self.seed,
-        ) from last
+        target = self.dataset(data).apply(algorithm, **params)
+        plan_result = target.run()
+        step = plan_result.steps[-1]
+        return Result(
+            algorithm=step.algorithm,
+            records=step.records,
+            value=step.value,
+            cost=step.cost,
+            params=step.params,
+        )
 
     # -- typed conveniences ------------------------------------------------
 
@@ -198,9 +203,11 @@ class ObliviousSession:
         """A :class:`~repro.oram.SquareRootORAM` on this session's machine,
         seeded from the session seed.
 
-        Note that any later :meth:`run` call clears the machine trace
-        (see :meth:`run`); read ORAM trace fingerprints before mixing in
-        facade calls."""
+        Facade calls and pipeline runs no longer clear the machine trace
+        (each snapshots its own window), so ORAM traffic interleaved
+        with facade calls keeps its transcript history; fingerprint any
+        window with ``machine.trace.mark()`` /
+        ``machine.trace.fingerprint(since=mark)``."""
         from repro.oram import SquareRootORAM
 
         call_index = self._calls
@@ -219,6 +226,27 @@ class ObliviousSession:
     def total_ios(self) -> int:
         """Cumulative block I/Os across all calls of this session."""
         return self.machine.total_ios
+
+    def cost_summary(self) -> SessionCostSummary:
+        """Cumulative cost across every call and pipeline step so far.
+
+        Sums the successful attempts' reads/writes/batches (the same
+        scoping as per-call :class:`~repro.api.result.CostReport`\\ s)
+        plus total Las Vegas attempts, client↔server round trips, and
+        the machine's raw lifetime I/O counter (which also covers failed
+        attempts and direct machine-level work such as ORAM traffic).
+        """
+        return SessionCostSummary(
+            steps=self._cum_steps,
+            attempts=self._cum_attempts,
+            reads=self._cum_reads,
+            writes=self._cum_writes,
+            batches=self._cum_batches,
+            batched_ios=self._cum_batched_ios,
+            loads=self.machine.client_loads,
+            extracts=self.machine.client_extracts,
+            machine_ios=self.machine.total_ios,
+        )
 
     def close(self) -> None:
         """Free server arrays and close the storage backend (idempotent)."""
@@ -240,11 +268,14 @@ class ObliviousSession:
         )
         return np.random.default_rng(seq)
 
-    def _free_new_arrays(self, before: set[int]) -> None:
-        """Drop arrays a failed attempt leaked (its temporaries + input)."""
-        machine = self.machine
-        for array_id in set(machine._arrays) - before:
-            machine.free(machine._arrays[array_id])
+    def _note_step(self, cost) -> None:
+        """Accumulate one completed step's cost into the session totals."""
+        self._cum_steps += 1
+        self._cum_attempts += cost.attempts
+        self._cum_reads += cost.reads
+        self._cum_writes += cost.writes
+        self._cum_batches += cost.batches
+        self._cum_batched_ios += cost.batched_ios
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -252,4 +283,3 @@ class ObliviousSession:
             f"backend={self.config.backend!r}, seed={self.seed}, "
             f"calls={self._calls})"
         )
-

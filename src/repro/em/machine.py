@@ -140,6 +140,14 @@ class EMMachine:
         self.writes = 0
         self.batch_count = 0
         self.batched_io_count = 0
+        #: Client↔server round trips: bulk uploads of problem instances
+        #: (:meth:`load_records`) and bulk downloads of final outputs
+        #: (:meth:`extract_records`).  Server-local handoffs
+        #: (:meth:`repack_resident`) move nothing across the link and are
+        #: not counted — this is what lets a pipeline prove it paid for
+        #: exactly one load and one extract.
+        self.client_loads = 0
+        self.client_extracts = 0
         self._arrays: dict[int, EMArray] = {}
         self._next_id = 0
 
@@ -187,6 +195,56 @@ class EMMachine:
         del self._arrays[arr.array_id]
         self.backend.release(arr._data)
         self.trace.record(Op.FREE, arr.array_id, arr.num_blocks)
+
+    # -- client↔server bulk transfer and server-local handoff -------------
+    #
+    # These are *setup/teardown* affordances, like ``EMArray.load_flat``:
+    # they move whole problem instances across the client↔server link (or,
+    # for ``repack_resident``, within the server) outside the I/O model —
+    # the model's block-I/O cost only covers the algorithms themselves.
+    # The round-trip counters make the data-movement story auditable.
+
+    def load_records(self, records: np.ndarray, name: str = "") -> EMArray:
+        """Upload ``records`` from the client into a fresh minimally-sized
+        server array (one client→server round trip).
+
+        Allocates ``ceil(max(1, len(records)) / B)`` blocks and bulk-loads
+        the records, preserving their layout (``NULL_KEY`` rows included,
+        so sparse compaction instances survive the trip).
+        """
+        arr = self.alloc_cells(max(1, len(records)), name)
+        arr.load_flat(records)
+        self.client_loads += 1
+        return arr
+
+    def extract_records(self, arr: EMArray) -> np.ndarray:
+        """Download the non-empty records of ``arr`` to the client (one
+        server→client round trip)."""
+        self.client_extracts += 1
+        return arr.nonempty()
+
+    def repack_resident(self, arr: EMArray, name: str = "") -> np.ndarray:
+        """Server-local handoff: return ``arr``'s non-empty records and
+        free it, *without* a client round trip.
+
+        The pipeline executor uses this between steps: the server packs an
+        intermediate's records (a server-local operation in a real
+        deployment — the data never crosses the client↔server link, so
+        :attr:`client_loads` / :attr:`client_extracts` are untouched) and
+        the executor immediately re-stages them into the next step's input
+        array via :meth:`stage_records`.
+        """
+        records = arr.nonempty()
+        self.free(arr)
+        return records
+
+    def stage_records(self, records: np.ndarray, name: str = "") -> EMArray:
+        """Stage already-server-resident ``records`` into a fresh
+        minimally-sized array (the second half of a server-local handoff;
+        no client round trip, no modeled I/O)."""
+        arr = self.alloc_cells(max(1, len(records)), name)
+        arr.load_flat(records)
+        return arr
 
     # -- scalar block I/O --------------------------------------------------
 
@@ -516,11 +574,14 @@ class EMMachine:
     # -- metering ------------------------------------------------------------
 
     def reset_counters(self) -> None:
-        """Zero the cumulative I/O and batch counters (the trace is untouched)."""
+        """Zero the cumulative I/O, batch and round-trip counters (the
+        trace is untouched)."""
         self.reads = 0
         self.writes = 0
         self.batch_count = 0
         self.batched_io_count = 0
+        self.client_loads = 0
+        self.client_extracts = 0
 
     @contextmanager
     def metered(self) -> Iterator[IOMeter]:

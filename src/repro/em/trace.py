@@ -176,25 +176,45 @@ class AccessTrace:
         row = self._full[chunk][off] if chunk < len(self._full) else self._cur[off]
         return TraceEvent(Op(int(row[0])), int(row[1]), int(row[2]))
 
-    def as_array(self) -> np.ndarray:
-        """Export the transcript as an ``(n, 3)`` int64 array."""
+    def mark(self) -> int:
+        """Return the current transcript position (event count).
+
+        Pass the returned value to :meth:`as_array` / :meth:`fingerprint`
+        as ``since`` to export or digest only the events recorded after
+        the mark.  This is how the session facade and the pipeline
+        executor snapshot *per-call* fingerprints without clearing the
+        transcript — earlier history (e.g. ORAM traffic on the same
+        machine) is preserved.
+        """
+        return len(self)
+
+    def as_array(self, since: int = 0) -> np.ndarray:
+        """Export the transcript (from event ``since`` on) as an
+        ``(n, 3)`` int64 array."""
         n = len(self)
-        if n == 0:
+        since = max(0, since)
+        if n <= since:
             return np.empty((0, 3), dtype=np.int64)
-        parts = list(self._full)
+        first, off = divmod(since, _CHUNK_EVENTS)
+        parts = list(self._full[first:])
         if self._pos:
             parts.append(self._cur[: self._pos])
+        if off:
+            parts[0] = parts[0][off:]
         if len(parts) == 1:
             return parts[0].copy()
         return np.concatenate(parts)
 
-    def fingerprint(self) -> str:
+    def fingerprint(self, since: int = 0) -> str:
         """Return a SHA-256 digest of the transcript.
 
         Two runs are indistinguishable to the adversary iff their
         fingerprints match (up to the negligible collision probability).
+        ``since`` (a :meth:`mark` value) digests only the suffix recorded
+        after the mark — the digest of that suffix equals the digest an
+        empty trace would have produced for the same events.
         """
-        return hashlib.sha256(self.as_array().tobytes()).hexdigest()
+        return hashlib.sha256(self.as_array(since).tobytes()).hexdigest()
 
     def shape_fingerprint(self) -> str:
         """Digest of the transcript's *shape*: ops and array ids, without

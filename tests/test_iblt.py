@@ -139,12 +139,21 @@ class TestListEntries:
         st.integers(0, 1000),
     )
     def test_roundtrip_property(self, pairs, seed):
-        """At m = 6n (delta=2, k=3 per Lemma 1), listing recovers everything."""
+        """At m = 6n (delta=2, k=3 per Lemma 1), listing recovers everything.
+
+        Lemma 1 only promises completeness w.h.p. — at tiny ``n`` the tail
+        event is reachable (hypothesis finds and pins such seeds), so the
+        check is Las Vegas: a failed listing retries with fresh hashes, as
+        the sparse-compaction caller would.
+        """
         n = max(1, len(pairs))
-        t = IBLT(m=6 * n + 3, k=3, seed=seed)
-        for k, v in pairs.items():
-            t.insert(k, v)
-        res = t.list_entries()
+        for attempt in range(4):
+            t = IBLT(m=6 * n + 3, k=3, seed=seed + 10_007 * attempt)
+            for k, v in pairs.items():
+                t.insert(k, v)
+            res = t.list_entries()
+            if res.complete:
+                break
         assert res.complete
         assert res.as_dict() == pairs
 
