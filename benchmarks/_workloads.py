@@ -52,17 +52,22 @@ def facade_chain(keys, seed, config, retry=None):
         return r1.cost.total + r2.cost.total + r3.cost.total, trips, r3
 
 
-def pipeline_chain(keys, seed, config, retry=None):
+def pipeline_chain(keys, seed, config, retry=None, optimize=False):
     """The same 3-step workload as one lazy pipeline.
 
-    Returns ``(total_ios, client_round_trips, plan_result)``; the block
-    I/Os are identical to :func:`facade_chain` by construction — the
-    saving is the round trips.
+    Returns ``(total_ios, client_round_trips, plan_result)``; with
+    ``optimize=False`` the block I/Os are identical to
+    :func:`facade_chain` by construction — the saving is the round
+    trips.  With ``optimize=True`` the cost-based optimizer rewrites the
+    plan first (here: the sort picks its cheapest oblivious variant), so
+    the I/Os drop too while the output stays byte-identical.
     """
     from repro.api import ObliviousSession
 
     with ObliviousSession(config, seed=seed, retry=retry) as session:
-        result = session.dataset(keys).shuffle().compact().sort().run()
+        result = (
+            session.dataset(keys).shuffle().compact().sort().run(optimize)
+        )
         return result.total.total, result.loads + result.extracts, result
 
 

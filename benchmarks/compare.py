@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Diff two benchmark artifact directories (cross-PR comparison).
+
+``run_all.py --json DIR`` writes one ``BENCH_<algo>.json`` per registered
+algorithm plus ``BENCH_pipeline.json``; CI uploads them per run.  This
+tool diffs two such directories — typically the previous main-branch
+run's artifacts against the current one — and prints per-algorithm
+deltas for the tracked metrics (block I/Os, wall time, Las Vegas
+attempts, batch efficiency, and the pipeline's optimizer savings)::
+
+    python benchmarks/compare.py old-artifacts/ new-artifacts/
+
+Exit code is 0 unless ``--fail-on-regression`` is given *and* some
+metric regressed by more than ``--threshold`` percent — CI wires it as a
+non-blocking step (wall time on shared runners is noisy; modeled I/O
+counts are deterministic, so an I/O regression is always worth reading).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Metrics diffed per artifact — wall time is noisy across runners,
+#: modeled I/Os are deterministic.
+METRICS = ("total_ios", "wall_seconds", "attempts", "mean_batch_size")
+PIPELINE_METRICS = (
+    "total_ios",
+    "optimized_total_ios",
+    "pipeline_round_trips",
+    "pipeline_wall_seconds",
+    "optimized_wall_seconds",
+)
+#: Deterministic metrics: any worsening is flagged regardless of threshold.
+EXACT = {"total_ios", "optimized_total_ios", "pipeline_round_trips", "attempts"}
+#: Metrics where a *larger* value is the good direction (batch quality).
+HIGHER_IS_BETTER = {"mean_batch_size"}
+
+
+def load_dir(path: Path) -> dict[str, dict]:
+    """``{artifact name: parsed json}`` for every BENCH_*.json in ``path``."""
+    out = {}
+    for f in sorted(path.glob("BENCH_*.json")):
+        out[f.stem.removeprefix("BENCH_")] = json.loads(f.read_text())
+    return out
+
+
+def diff_artifacts(
+    old: dict[str, dict], new: dict[str, dict], threshold_pct: float = 10.0
+) -> tuple[list[list], list[str]]:
+    """Rows of ``[name, metric, old, new, delta%]`` plus regression notes.
+
+    Only artifacts present on both sides are compared; additions and
+    removals are reported as notes, not regressions (new algorithms and
+    retired ones are normal PR traffic)."""
+    rows: list[list] = []
+    notes: list[str] = []
+    for name in sorted(set(old) | set(new)):
+        if name not in old:
+            notes.append(f"new artifact: {name}")
+            continue
+        if name not in new:
+            notes.append(f"removed artifact: {name}")
+            continue
+        metrics = PIPELINE_METRICS if name == "pipeline" else METRICS
+        for metric in metrics:
+            a, b = old[name].get(metric), new[name].get(metric)
+            if a is None or b is None:
+                if a != b:
+                    notes.append(f"{name}.{metric}: {a} → {b} (metric added/removed)")
+                continue
+            delta = (b - a) / a * 100.0 if a else (0.0 if b == a else float("inf"))
+            rows.append([name, metric, a, b, delta])
+            worsened = b < a if metric in HIGHER_IS_BETTER else b > a
+            worse = worsened and (metric in EXACT or abs(delta) > threshold_pct)
+            if worse:
+                notes.append(
+                    f"REGRESSION {name}.{metric}: {a} → {b} ({delta:+.1f}%)"
+                )
+    return rows, notes
+
+
+def render(rows: list[list]) -> str:
+    header = ["algorithm", "metric", "old", "new", "delta"]
+    fmt_rows = [
+        [
+            r[0],
+            r[1],
+            f"{r[2]:.4g}" if isinstance(r[2], float) else str(r[2]),
+            f"{r[3]:.4g}" if isinstance(r[3], float) else str(r[3]),
+            f"{r[4]:+.1f}%",
+        ]
+        for r in rows
+    ]
+    widths = [
+        max(len(header[i]), max((len(r[i]) for r in fmt_rows), default=0))
+        for i in range(5)
+    ]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths))]
+    lines.append("-" * (sum(widths) + 8))
+    for r in fmt_rows:
+        lines.append("  ".join(c.rjust(w) if i >= 2 else c.ljust(w)
+                               for i, (c, w) in enumerate(zip(r, widths))))
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", type=Path, help="baseline artifact directory")
+    parser.add_argument("new", type=Path, help="candidate artifact directory")
+    parser.add_argument(
+        "--threshold", type=float, default=10.0,
+        help="percent change flagged as a regression for noisy metrics "
+        "(deterministic ones — I/Os, attempts, round trips — flag on any "
+        "increase)",
+    )
+    parser.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit 1 when a regression is flagged (default: report only)",
+    )
+    args = parser.parse_args(argv)
+    for d in (args.old, args.new):
+        if not d.is_dir():
+            print(f"compare: {d} is not a directory", file=sys.stderr)
+            return 2
+    old, new = load_dir(args.old), load_dir(args.new)
+    if not old or not new:
+        print(
+            f"compare: nothing to diff ({len(old)} baseline / "
+            f"{len(new)} candidate artifacts)"
+        )
+        return 0
+    rows, notes = diff_artifacts(old, new, args.threshold)
+    print(render(rows))
+    if notes:
+        print()
+        for note in notes:
+            print(note)
+    regressions = [n for n in notes if n.startswith("REGRESSION")]
+    print(
+        f"\n{len(rows)} metric(s) compared, {len(regressions)} regression(s)"
+    )
+    return 1 if regressions and args.fail_on_regression else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

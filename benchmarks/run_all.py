@@ -40,21 +40,56 @@ from repro.api import (
 )
 
 
-def build_workload(name: str, n: int, B: int, rng: np.random.Generator):
-    """Return ``(data, params, validate)`` for one registered algorithm."""
+def build_workload(name: str, n: int, B: int, rng: np.random.Generator, M: int):
+    """Return ``(data, params, validate)`` for one registered algorithm,
+    or ``(None, reason, None)`` when the algorithm's model assumptions
+    (sparsity / wide-block) do not hold at this benchmark shape."""
     keys = rng.permutation(np.arange(n))
 
-    if name == "compact":
-        # A sparse layout: one record in the first cell of every third block.
+    def _sparse(every: int):
+        """A sparse layout plus its live block indices: one record in the
+        first cell of every ``every``-th block."""
         n_blocks = max(1, n // B)
         layout = np.zeros((n_blocks * B, 2), dtype=np.int64)
         layout[:, 0] = NULL_KEY
-        live = np.arange(0, n_blocks, 3)
+        live = np.arange(0, n_blocks, every)
         layout[live * B, 0] = live
         layout[live * B, 1] = live * 10
+        return layout, live, n_blocks
+
+    if name == "compact":
+        layout, live, _ = _sparse(3)
 
         def validate(result):
             assert result.keys.tolist() == live.tolist(), "compact lost records"
+
+        return layout, {}, validate
+
+    if name == "compact_sparse":
+        # Very sparse (r stays tiny): the ORAM-simulated peel dominates.
+        layout, live, _ = _sparse(max(8, (n // B) // 8))
+
+        def validate(result):
+            assert result.keys.tolist() == live.tolist(), (
+                "sparse compaction lost records or order"
+            )
+
+        return layout, {}, validate
+
+    if name in ("compact_loose", "compact_logstar"):
+        from repro.core.compaction import wide_block_ok
+
+        layout, live, n_blocks = _sparse(8)
+        r = len(live) // B + 2
+        if 4 * r > n_blocks:
+            return None, "density bound R <= N/4 fails at this shape", None
+        if name == "compact_loose" and not wide_block_ok(n_blocks + 1, M // B):
+            return None, "wide-block assumption fails at this shape", None
+
+        def validate(result):
+            assert sorted(result.keys.tolist()) == live.tolist(), (
+                "loose compaction lost records"
+            )
 
         return layout, {}, validate
 
@@ -63,6 +98,42 @@ def build_workload(name: str, n: int, B: int, rng: np.random.Generator):
             assert result.value[0] == n // 2 - 1, "wrong selected key"
 
         return keys, {"k": n // 2}, validate
+
+    if name == "select_sorted":
+        def validate(result):
+            assert result.value[0] == n // 2 - 1, "wrong selected key"
+
+        return np.sort(keys), {"k": n // 2}, validate
+
+    if name == "quantiles_sorted":
+        q = 3
+        expected = [
+            int(np.sort(keys)[max(1, min(n, round(i * n / (q + 1)))) - 1])
+            for i in range(1, q + 1)
+        ]
+
+        def validate(result):
+            assert result.value.tolist() == expected, "wrong quantiles"
+
+        return np.sort(keys), {"q": q}, validate
+
+    if name == "mask":
+        lo, hi = n // 4, 3 * n // 4
+
+        def validate(result):
+            assert sorted(result.keys.tolist()) == list(range(lo, hi + 1)), (
+                "mask kept the wrong records"
+            )
+
+        return keys, {"lo": lo, "hi": hi}, validate
+
+    if name == "scale_values":
+        def validate(result):
+            assert sorted(result.values.tolist()) == [
+                3 * k + 7 for k in range(n)
+            ], "wrong scaled values"
+
+        return keys, {"mul": 3, "add": 7}, validate
 
     if name == "quantiles":
         q = 3
@@ -134,7 +205,10 @@ def main(argv: list[str] | None = None) -> int:
     print("-" * len(header))
     failures = 0
     for name in algorithm_names():
-        data, params, validate = build_workload(name, n, B, rng)
+        data, params, validate = build_workload(name, n, B, rng, M)
+        if data is None:
+            print(f"{name:>15}  {'-':>8}  {'-':>8}  {'-':>6}  skip: {params}")
+            continue
         start = time.perf_counter()
         try:
             with ObliviousSession(
@@ -181,8 +255,10 @@ def main(argv: list[str] | None = None) -> int:
 
 
 def run_pipeline_comparison(n, config, seed, json_dir) -> int:
-    """Run the 3-step shuffle→compact→sort chain both ways and report the
-    round-trip savings (BENCH_pipeline.json when ``--json`` is active)."""
+    """Run the 3-step shuffle→compact→sort chain three ways — facade,
+    verbatim pipeline, optimized pipeline — and report the round-trip
+    and optimizer savings (BENCH_pipeline.json when ``--json`` is
+    active)."""
     from _workloads import facade_chain, pipeline_chain
 
     keys = np.random.default_rng(seed).permutation(np.arange(n))
@@ -196,12 +272,24 @@ def run_pipeline_comparison(n, config, seed, json_dir) -> int:
         _, pipeline_trips, result = pipeline_chain(keys, seed, config, retry)
         pipeline_secs = time.perf_counter() - start
 
+        start = time.perf_counter()
+        opt_ios, opt_trips, opt_result = pipeline_chain(
+            keys, seed, config, retry, optimize=True
+        )
+        opt_secs = time.perf_counter() - start
+
         assert np.array_equal(result.records, r3.records), "pipeline diverged"
         assert result.total.total == facade_ios, "pipeline changed the model cost"
+        assert np.array_equal(opt_result.records, r3.records), (
+            "optimized pipeline diverged"
+        )
+        assert opt_ios <= facade_ios, "optimizer increased the model cost"
         print(
             f"\npipeline shuffle→compact→sort: {result.total.total} I/Os "
             f"either way; round trips {facade_trips} → {pipeline_trips}, "
-            f"wall {facade_secs:.2f}s → {pipeline_secs:.2f}s"
+            f"wall {facade_secs:.2f}s → {pipeline_secs:.2f}s; "
+            f"optimized: {opt_ios} I/Os "
+            f"({[s.algorithm for s in opt_result.steps]}, {opt_secs:.2f}s)"
         )
         if json_dir is not None:
             artifact = {
@@ -216,6 +304,12 @@ def run_pipeline_comparison(n, config, seed, json_dir) -> int:
                 "pipeline_round_trips": pipeline_trips,
                 "facade_wall_seconds": facade_secs,
                 "pipeline_wall_seconds": pipeline_secs,
+                "optimized_total_ios": opt_ios,
+                "optimized_wall_seconds": opt_secs,
+                "optimized_steps": [
+                    {"algorithm": s.algorithm, "note": s.note}
+                    for s in opt_result.steps
+                ],
                 "step_fingerprints": [
                     s.cost.trace_fingerprint for s in result.steps
                 ],

@@ -74,6 +74,29 @@ def main() -> None:
         )
         print(f"session so far: {session.cost_summary()}")
 
+    # The cost-based optimizer, on the same workload: the shared shuffle
+    # feeds only permutation-invariant consumers (sort, select,
+    # quantiles), so it is dead work, and the sort picks its cheapest
+    # oblivious variant at this shape.  (select/quantiles keep their
+    # sampling form — in this DAG they read the *unsorted* source, not
+    # the sort's output; chain them after .sort() and they collapse to
+    # one deterministic ranked scan each.)  explain() shows every rule
+    # it fired with before/after estimated I/O, and the outputs stay
+    # byte-identical.
+    with ObliviousSession(EMConfig(M=256, B=8), seed=100) as session:
+        staged = session.dataset(table).shuffle()
+        plan = session.plan(
+            staged.sort(), staged.select(k=n // 2), staged.quantiles(q=3)
+        )
+        print()
+        print(plan.explain(optimize=True))
+        opt = plan.run(optimize=True)
+        assert np.array_equal(opt.records[:, 0], np.sort(salaries))
+        print(
+            f"\noptimized: {opt.total.total} I/Os "
+            f"({', '.join(s.algorithm for s in opt.steps)})"
+        )
+
 
 if __name__ == "__main__":
     main()

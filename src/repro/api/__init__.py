@@ -75,6 +75,13 @@ registered kernel generically).
 
 from repro.api.config import BACKENDS, EMConfig, RetryPolicy
 from repro.api.executor import Executor
+from repro.api.optimizer import (
+    ExecStep,
+    OptimizedPlan,
+    Rewrite,
+    identity_schedule,
+    optimize_plan,
+)
 from repro.api.plan import Dataset, Plan, PlanExplain, PlanNode, StepEstimate
 from repro.api.registry import AlgorithmOutput, AlgorithmSpec, register, unregister
 from repro.api.registry import get as get_algorithm
@@ -107,6 +114,12 @@ __all__ = [
     "PlanResult",
     "StepResult",
     "SessionCostSummary",
+    # optimizer
+    "OptimizedPlan",
+    "ExecStep",
+    "Rewrite",
+    "optimize_plan",
+    "identity_schedule",
     # registry
     "AlgorithmSpec",
     "AlgorithmOutput",

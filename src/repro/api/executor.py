@@ -1,7 +1,10 @@
 """The plan executor: machine-resident intermediates, per-step retry.
 
 :class:`Executor` runs a :class:`repro.api.plan.Plan` on its session's
-machine.  The contract, step by step:
+machine, consuming an execution schedule built by
+:mod:`repro.api.optimizer` — the verbatim one-step-per-node schedule by
+default, or the rewritten one under ``optimize=True``.  The contract,
+step by step:
 
 * **One load, one extract.**  Each client source is uploaded once
   (:meth:`~repro.em.machine.EMMachine.load_records`); intermediates are
@@ -17,6 +20,12 @@ machine.  The contract, step by step:
   its trace fingerprint is snapshotted over exactly the successful
   attempt's window — so each pipeline step's fingerprint is
   byte-identical to the equivalent standalone facade call.
+* **Optimizer-stable randomness.**  A step's call index is its
+  *original* call slot (its position among the plan's algorithm nodes),
+  and the session's call counter advances by the original node count
+  even when the optimizer dropped or fused steps — so surviving steps,
+  and everything the session runs afterwards, derive exactly the
+  randomness they would have drawn from the unoptimized plan.
 * **Per-step Las Vegas retry.**  The server keeps a shadow copy of a
   randomized step's input (taken up front for declared-mutating
   ``in_place`` specs, lazily at failure time otherwise — non-in-place
@@ -25,7 +34,9 @@ machine.  The contract, step by step:
   the attempt's arrays and restores the shadow into a fresh array (the
   same allocation the facade's re-load would have made), then retries
   with fresh derived randomness.  The retry budget is the session's
-  :class:`~repro.api.config.RetryPolicy`.
+  :class:`~repro.api.config.RetryPolicy`.  Substituted and fused steps
+  get the identical treatment — their spec declares whether they are
+  randomized.
 * **Consumer-counted lifetime.**  Every intermediate is freed as soon
   as its last consumer has run; a plan that fails leaves the machine's
   array set exactly as it found it.
@@ -35,7 +46,13 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.api.registry import AlgorithmSpec, get as get_spec
+from repro.api.optimizer import (
+    OptimizedPlan,
+    identity_schedule,
+    optimize_plan,
+    validate_optimize,
+)
+from repro.api.registry import AlgorithmSpec
 from repro.api.result import CostReport, PlanResult, StepResult
 from repro.em.block import occupancy
 from repro.em.storage import EMArray
@@ -54,8 +71,14 @@ class Executor:
     def __init__(self, session: "ObliviousSession") -> None:
         self.session = session
 
-    def execute(self, plan: "Plan") -> PlanResult:
+    def execute(
+        self, plan: "Plan", optimize: bool | str | None = None
+    ) -> PlanResult:
         """Execute ``plan`` and return the per-step and total costs.
+
+        ``optimize`` may be ``False`` (verbatim), ``True`` (byte-
+        preserving rewrites), ``"aggressive"`` (also distribution-
+        preserving ones), or ``None`` to inherit the session default.
 
         On any failure — Las Vegas exhaustion or a plain bug — every
         array the plan allocated is freed before the exception
@@ -65,12 +88,19 @@ class Executor:
         session = self.session
         if session._closed:
             raise RuntimeError("session is closed")
+        if optimize is None:
+            optimize = session.optimize
+        validate_optimize(optimize)
+        if optimize:
+            sched = optimize_plan(plan, aggressive=optimize == "aggressive")
+        else:
+            sched = identity_schedule(plan)
         machine = session.machine
         pre_plan = set(machine._arrays)
         loads_before = machine.client_loads
         extracts_before = machine.client_extracts
         try:
-            steps = self._execute_nodes(plan)
+            steps = self._execute_schedule(plan, sched)
         except BaseException:
             for array_id in set(machine._arrays) - pre_plan:
                 machine.free(machine._arrays[array_id])
@@ -92,9 +122,12 @@ class Executor:
 
     # -- internals ---------------------------------------------------------
 
-    def _execute_nodes(self, plan: "Plan") -> list[StepResult]:
+    def _execute_schedule(
+        self, plan: "Plan", sched: OptimizedPlan
+    ) -> list[StepResult]:
         session = self.session
         machine = session.machine
+        base_calls = session._calls
         # Producer node id → its packed output, waiting for consumers.
         # Each consumer's input array is staged lazily, right before its
         # step runs, so only one staged copy is resident at a time even
@@ -102,49 +135,50 @@ class Executor:
         # consumer has been staged.  ``client`` marks a payload whose
         # first staging is the plan's client→server upload.
         pending: dict[int, dict] = {}
-        steps: list[StepResult] = []
         for node in plan.nodes:
-            consumers = plan.consumers[id(node)]
-            if node.is_source:
-                if not consumers:
-                    continue
-                if node.resident is not None:
-                    # Server-local snapshot, layout (NULL rows) preserved;
-                    # the caller's array stays untouched.
-                    layout = node.resident.flat()
-                    pending[id(node)] = {
-                        "records": layout,
-                        "n": occupancy(layout),
-                        "client": False,
-                        "remaining": len(consumers),
-                    }
-                else:
-                    pending[id(node)] = {
-                        "records": node.records,
-                        "n": occupancy(node.records),
-                        "client": True,
-                        "remaining": len(consumers),
-                    }
+            if not node.is_source:
                 continue
-            spec = get_spec(node.op)
-            source = pending[id(node.inputs[0])]
+            remaining = sched.consumers.get(id(node), 0)
+            if not remaining:
+                continue
+            if node.resident is not None:
+                # Server-local snapshot, layout (NULL rows) preserved;
+                # the caller's array stays untouched.
+                layout = node.resident.flat()
+                pending[id(node)] = {
+                    "records": layout,
+                    "n": occupancy(layout),
+                    "client": False,
+                    "remaining": remaining,
+                }
+            else:
+                pending[id(node)] = {
+                    "records": node.records,
+                    "n": occupancy(node.records),
+                    "client": True,
+                    "remaining": remaining,
+                }
+        steps: list[StepResult] = []
+        for step in sched.schedule:
+            spec = step.spec
+            call_index = base_calls + step.slot
+            session._calls = base_calls + step.slot_end + 1
+            source = pending[step.input_id]
             if source["client"]:
                 A = machine.load_records(
-                    source["records"], f"{spec.name}{session._calls}"
+                    source["records"], f"{spec.name}{call_index}"
                 )
                 source["client"] = False  # later consumers stage server-side
             else:
                 A = machine.stage_records(
-                    source["records"], f"{spec.name}{session._calls}"
+                    source["records"], f"{spec.name}{call_index}"
                 )
             n_items = source["n"]
             source["remaining"] -= 1
             if source["remaining"] == 0:
-                del pending[id(node.inputs[0])]
-            call_index = session._calls
-            session._calls += 1
+                del pending[step.input_id]
             A, out, cost, before = self._run_step(
-                spec, A, n_items, node.params, call_index
+                spec, A, n_items, step.params, call_index
             )
             session._note_step(cost)
             # Free the attempt's scratch: everything it allocated except
@@ -161,22 +195,35 @@ class Executor:
                     )
                 if out.array is not A:
                     machine.free(A)
-                if consumers:
+                remaining = sched.consumers.get(step.out_id, 0)
+                # Terminal downloads this output must serve: normally 1;
+                # more when several elided terminals alias this step —
+                # each pays its own client round trip (matching the
+                # verbatim plan's accounting) but they share these bytes
+                # in this single StepResult.
+                downloads = sched.extracts.get(step.out_id, 0)
+                if remaining:
                     # Server-local handoff: pack the intermediate; each
                     # consumer's input is staged from it lazily, just
                     # before that consumer runs — no client round trip.
                     packed = machine.repack_resident(
-                        out.array, f"{node.op}{call_index}.out"
+                        out.array, f"{spec.name}{call_index}.out"
                     )
-                    pending[id(node)] = {
+                    pending[step.out_id] = {
                         "records": packed,
                         "n": len(packed),
                         "client": False,
-                        "remaining": len(consumers),
+                        "remaining": remaining,
                     }
-                else:
-                    # Terminal record output: the one server→client extract.
+                    if downloads:
+                        records = packed.copy()
+                        machine.client_extracts += downloads
+                elif downloads:
+                    # Terminal record output: the server→client extract.
                     records = machine.extract_records(out.array)
+                    machine.free(out.array)
+                    machine.client_extracts += downloads - 1
+                else:  # pragma: no cover - defensive; rules keep outputs used
                     machine.free(out.array)
             else:
                 # Value output (terminal by plan construction): this step
@@ -192,9 +239,11 @@ class Executor:
                     cost=cost,
                     value=out.value,
                     records=records,
-                    params=dict(node.params, n=n_items, seed=session.seed),
+                    params=dict(step.params, n=n_items, seed=session.seed),
+                    note=step.note,
                 )
             )
+        session._calls = base_calls + sched.total_slots
         return steps
 
     def _run_step(
@@ -253,11 +302,10 @@ class Executor:
                     f"algorithm {spec.name!r} declares in_place but its "
                     "runner returned a different array than its input"
                 )
-            fingerprint = (
-                machine.trace.fingerprint(since=mark)
-                if machine.trace.enabled
-                else None
-            )
+            if machine.trace.enabled:
+                fingerprint, canonical = machine.trace.fingerprint_pair(mark)
+            else:
+                fingerprint = canonical = None
             cost = CostReport(
                 reads=meter.reads,
                 writes=meter.writes,
@@ -265,6 +313,7 @@ class Executor:
                 trace_fingerprint=fingerprint,
                 batches=meter.batches,
                 batched_ios=meter.batched_ios,
+                trace_canonical=canonical,
             )
             return A, out, cost, before
         raise RetryExhausted(

@@ -40,7 +40,6 @@ from repro.analysis.bounds import PAPER_BOUNDS
 from repro.api.registry import get as get_spec
 from repro.em.block import occupancy
 from repro.em.storage import EMArray
-from repro.util.mathx import ceil_div
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.api.result import PlanResult
@@ -161,13 +160,21 @@ class Dataset:
         """Freeze this handle's lineage into an executable :class:`Plan`."""
         return Plan(self._session, [self])
 
-    def explain(self) -> "PlanExplain":
-        """Per-step analytical I/O estimates — nothing executes."""
-        return self.plan().explain()
+    def explain(self, optimize: bool | str | None = None) -> "PlanExplain":
+        """Per-step analytical I/O estimates — nothing executes.
 
-    def run(self) -> "PlanResult":
-        """Execute this handle's lineage (one load, one extract)."""
-        return self.plan().run()
+        ``optimize=True`` prices the *rewritten* plan and reports every
+        rule that fired next to the unoptimized baseline."""
+        return self.plan().explain(optimize)
+
+    def run(self, optimize: bool | str | None = None) -> "PlanResult":
+        """Execute this handle's lineage (one load, one extract).
+
+        ``optimize`` may be ``False`` (verbatim), ``True`` (the
+        optimizer's byte-preserving rewrites), ``"aggressive"`` (also
+        distribution-preserving ones), or ``None`` to inherit the
+        session default."""
+        return self.plan().run(optimize)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         chain = " → ".join(
@@ -188,6 +195,7 @@ class StepEstimate:
     formula: str | None  #: growth law, in blocks n and cache m
     source: str | None  #: paper provenance of the bound
     randomized: bool
+    note: str | None = None  #: optimizer annotation (None: verbatim step)
 
 
 @dataclass(frozen=True)
@@ -198,11 +206,19 @@ class PlanExplain:
     machine shape they were evaluated at.  Estimates use calibrated
     leading constants (see :mod:`repro.analysis.bounds`) and are meant
     for plan comparison and hot-spot spotting, not exact prediction.
+
+    When built with ``explain(optimize=True)``, ``steps`` prices the
+    *rewritten* schedule, ``rewrites`` lists every optimizer rule that
+    fired with its before/after estimated I/O, and ``baseline_est_ios``
+    is the unoptimized plan's total for comparison.
     """
 
     steps: tuple[StepEstimate, ...]
     M: int
     B: int
+    optimized: bool = False
+    rewrites: tuple = ()  #: tuple[repro.api.optimizer.Rewrite, ...]
+    baseline_est_ios: float | None = None
 
     @property
     def m(self) -> int:
@@ -214,11 +230,19 @@ class PlanExplain:
         """Sum of the per-step estimates (unmodelled steps contribute 0)."""
         return sum(s.est_ios or 0.0 for s in self.steps)
 
+    @property
+    def savings_fraction(self) -> float:
+        """Estimated I/O saved versus the unoptimized plan (0.0 when not
+        optimized or when the baseline had no modelled steps)."""
+        if not self.baseline_est_ios:
+            return 0.0
+        return max(0.0, 1.0 - self.total_est_ios / self.baseline_est_ios)
+
     def __str__(self) -> str:
         lines = [
             f"plan on EMMachine(M={self.M}, B={self.B}, m={self.m}) — "
             "analytical estimates, nothing executed",
-            f"{'step':>4}  {'algorithm':<12} {'n':>8} {'blocks':>7} "
+            f"{'step':>4}  {'algorithm':<22} {'n':>8} {'blocks':>7} "
             f"{'est I/Os':>10}  bound",
         ]
         for s in self.steps:
@@ -226,12 +250,24 @@ class PlanExplain:
             bound = (
                 f"{s.formula}  [{s.source}]" if s.formula else "(no model)"
             )
+            name = s.algorithm if s.note is None else f"{s.algorithm} ({s.note})"
             lines.append(
-                f"{s.step:>4}  {s.algorithm:<12} {s.n_items:>8} "
+                f"{s.step:>4}  {name:<22} {s.n_items:>8} "
                 f"{s.blocks:>7} {est}  {bound}"
             )
-        lines.append(f"{'total':>4}  {'':<12} {'':>8} {'':>7} "
+        lines.append(f"{'total':>4}  {'':<22} {'':>8} {'':>7} "
                      f"{self.total_est_ios:>10.0f}")
+        if self.optimized:
+            if self.rewrites:
+                base = self.baseline_est_ios or 0.0
+                lines.append(
+                    f"optimizer: {len(self.rewrites)} rewrite(s) — estimated "
+                    f"{base:.0f} → {self.total_est_ios:.0f} I/Os "
+                    f"(-{100 * self.savings_fraction:.0f}%)"
+                )
+                lines.extend(f"  {r}" for r in self.rewrites)
+            else:
+                lines.append("optimizer: no rewrite applied")
         return "\n".join(lines)
 
 
@@ -273,54 +309,72 @@ class Plan:
                 consumers[id(parent)].append(node)
         self.consumers = consumers
 
-    def explain(self) -> PlanExplain:
+    def explain(self, optimize: bool | str | None = None) -> PlanExplain:
         """Per-step analytical I/O estimates from the paper's bounds.
 
         Input sizes are propagated through the DAG with each spec's
         declared ``out_items`` rule; nothing is loaded or executed.
+        With ``optimize=True`` (or ``"aggressive"``) the *rewritten*
+        schedule is priced and every optimizer rule that fired is
+        reported with its before/after estimated I/O next to the
+        unoptimized baseline.
         """
-        B = self.session.config.B
-        m = max(2, self.session.config.M // B)
-        n_of: dict[int, int] = {}
+        from repro.api.optimizer import (
+            identity_schedule,
+            optimize_plan,
+            validate_optimize,
+        )
+
+        if optimize is None:
+            optimize = self.session.optimize
+        validate_optimize(optimize)
+        identity = identity_schedule(self)
+        if optimize:
+            sched = optimize_plan(self, aggressive=optimize == "aggressive")
+            baseline = identity.total_est_ios
+        else:
+            sched, baseline = identity, None
         steps: list[StepEstimate] = []
-        for node in self.nodes:
-            if node.is_source:
-                n_of[id(node)] = node.n_items
-                continue
-            spec = get_spec(node.op)
-            n_in = n_of[id(node.inputs[0])]
-            blocks = ceil_div(max(1, n_in), B)
-            est = formula = source = None
+        for exec_step in sched.schedule:
+            spec = exec_step.spec
+            formula = source = None
             if spec.cost_model is not None and spec.cost_model in PAPER_BOUNDS:
                 bound = PAPER_BOUNDS[spec.cost_model]
-                est = float(bound.estimate(blocks, m, node.params))
                 formula, source = bound.formula, bound.source
             steps.append(
                 StepEstimate(
                     step=len(steps),
-                    algorithm=node.op,
-                    n_items=n_in,
-                    blocks=blocks,
-                    est_ios=est,
+                    algorithm=spec.name,
+                    n_items=exec_step.n_items,
+                    blocks=exec_step.blocks,
+                    est_ios=exec_step.est_ios,
                     formula=formula,
                     source=source,
                     randomized=spec.randomized,
+                    note=exec_step.note,
                 )
             )
-            n_of[id(node)] = spec.estimate_out_items(n_in, dict(node.params))
         return PlanExplain(
             steps=tuple(steps),
             M=self.session.config.M,
             B=self.session.config.B,
+            optimized=bool(optimize),
+            rewrites=sched.rewrites,
+            baseline_est_ios=baseline,
         )
 
-    def run(self) -> "PlanResult":
+    def run(self, optimize: bool | str | None = None) -> "PlanResult":
         """Execute the plan: one client→server load per source, all
         intermediates machine-resident, one server→client extract per
-        record-producing terminal."""
+        record-producing terminal.
+
+        ``optimize`` may be ``False`` (verbatim), ``True`` (the
+        optimizer's byte-preserving rewrites), ``"aggressive"`` (also
+        distribution-preserving ones), or ``None`` to inherit the
+        session default."""
         from repro.api.executor import Executor
 
-        return Executor(self.session).execute(self)
+        return Executor(self.session).execute(self, optimize)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         chain = " → ".join(n.op or "source" for n in self.nodes)

@@ -14,28 +14,50 @@ names the output array (``None`` for value-only algorithms) and an
 optional Python-level value; the session turns both into a
 :class:`repro.api.Result`.
 
-Third-party algorithms can join the facade via :func:`register`; specs
-with ``randomized=True`` get the session's Las Vegas retry treatment.
+Beyond the runner, a spec *declares* the algorithm's algebraic
+properties (obliviousness, output order, permutation invariance,
+fusibility, interchangeable variants) so the plan optimizer
+(:mod:`repro.api.optimizer`) can rewrite plans without per-algorithm
+code.  Third-party algorithms can join the facade via :func:`register`;
+specs with ``randomized=True`` get the session's Las Vegas retry
+treatment.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
 import numpy as np
 
 from repro.baselines import bitonic_external_sort, external_merge_sort, sort_then_pick
-from repro.core.compaction import tight_compact
+from repro.core._helpers import hold_scan, scan_chunks
+from repro.core.compaction import (
+    loose_compact,
+    loose_compact_logstar,
+    tight_compact,
+    tight_compact_sparse,
+)
 from repro.core.consolidation import consolidate
-from repro.core.quantiles import quantiles_em
-from repro.core.selection import select_em
+from repro.core.quantiles import quantiles_em, quantiles_sorted_em
+from repro.core.selection import select_em, select_sorted_em
 from repro.core.shuffle import knuth_block_shuffle
 from repro.core.sorting import oblivious_sort
+from repro.em.block import NULL_KEY, is_empty
 from repro.em.machine import EMMachine
 from repro.em.storage import EMArray
+from repro.util.mathx import ceil_div
 
-__all__ = ["AlgorithmOutput", "AlgorithmSpec", "register", "unregister", "get", "names"]
+__all__ = [
+    "AlgorithmOutput",
+    "AlgorithmSpec",
+    "register",
+    "unregister",
+    "get",
+    "names",
+    "run_scan_stages",
+    "occupied_capacity",
+]
 
 
 @dataclass
@@ -56,14 +78,25 @@ Runner = Callable[
     [EMMachine, EMArray, int, np.random.Generator, dict], AlgorithmOutput
 ]
 
+#: A fusible scan's per-chunk transform: ``(blocks, params) -> blocks``
+#: where ``blocks`` is a ``(k, B, 2)`` int64 stack.  Kernels must be pure
+#: (no machine access — the generic scan runner owns the I/O) and
+#: pointwise per record, so composing two kernels in one pass is exactly
+#: equivalent to running them in two passes.
+ScanKernel = Callable[[np.ndarray, dict], np.ndarray]
+
+#: Valid ``output_order`` declarations.
+_ORDERS = (None, "sorted", "random", "same")
+
 
 @dataclass(frozen=True)
 class AlgorithmSpec:
     """One registered algorithm.
 
     Beyond the runner itself, a spec *declares* how the algorithm behaves
-    so that generic drivers — the session facade and the pipeline
-    executor (:mod:`repro.api.executor`) — can run it without
+    so that generic drivers — the session facade, the pipeline executor
+    (:mod:`repro.api.executor`) and the plan optimizer
+    (:mod:`repro.api.optimizer`) — can run and rewrite it without
     per-algorithm code:
 
     ``randomized``
@@ -87,6 +120,49 @@ class AlgorithmSpec:
         Key into :data:`repro.analysis.bounds.PAPER_BOUNDS` naming the
         paper bound that governs this algorithm's I/O cost; ``None``
         leaves ``explain()`` estimates unavailable for the step.
+    ``oblivious``
+        The adversary-visible transcript is a function of the public
+        parameters ``(n, M, B, params, seed)`` only — never of data
+        values.  ``False`` (e.g. ``merge_sort``) excludes the algorithm
+        from the adversary-view test harness and makes it ineligible as
+        an optimizer substitution target.
+    ``output_order``
+        Declared order of the output records: ``"sorted"`` (ascending by
+        key; runs of equal keys in a deterministic but unspecified
+        order), ``"random"`` (a *pure uniformly random permutation* of
+        the input records — nothing but order changes), ``"same"`` (the
+        input's record order is preserved), or ``None`` (deterministic
+        but unspecified, e.g. loose compaction).  The optimizer drops
+        ``"random"`` steps feeding only permutation-invariant consumers
+        and elides ``"sorted"`` steps whose input is already sorted.
+    ``permutation_invariant``
+        The output (records or value) depends only on the *multiset* of
+        input records, never on their order — e.g. sorting, selection,
+        quantiles.  For keys with duplicates this holds at the record
+        level up to the ``"sorted"`` tie caveat above.
+    ``permutation_only``
+        The output records are exactly the input records, reordered
+        (nothing dropped, nothing rewritten) — true for shuffles and
+        sorts, false for compaction (which repacks layouts) and scans.
+    ``fusible_scan`` / ``scan_kernel`` / ``scan_params``
+        The algorithm is a single full read+write pass whose per-chunk
+        transform is ``scan_kernel`` (see :data:`ScanKernel`).  The
+        optimizer fuses adjacent fusible steps into one
+        :meth:`~repro.em.machine.EMMachine.io_rounds` pass.
+        ``scan_params`` names the parameters the kernel understands; a
+        step whose params are not all declared is never fused, so it
+        reaches the standalone runner's strict validation exactly as an
+        unoptimized plan would.
+    ``requires_input_order``
+        The runner is only correct when its input satisfies this order
+        (``"sorted"``); such specs are reachable only as optimizer
+        variants (or by callers who know their data).
+    ``variants``
+        Names of registered algorithms that compute the same function
+        (byte-identical output on distinct keys; identical record
+        multiset otherwise) with different cost profiles.  The optimizer
+        substitutes the cheapest *legal* variant by estimated I/O at the
+        step's actual ``(n, M, B)``.
     """
 
     name: str
@@ -96,19 +172,46 @@ class AlgorithmSpec:
     output: str = "records"
     in_place: bool = False
     cost_model: str | None = None
+    oblivious: bool = True
+    output_order: str | None = None
+    permutation_invariant: bool = False
+    permutation_only: bool = False
+    fusible_scan: bool = False
+    scan_kernel: ScanKernel | None = None
+    scan_params: tuple[str, ...] = ()
+    requires_input_order: str | None = None
+    variants: tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         if self.output not in ("records", "value"):
             raise ValueError(
                 f"output must be 'records' or 'value', got {self.output!r}"
             )
+        if self.output_order not in _ORDERS:
+            raise ValueError(
+                f"output_order must be one of {_ORDERS}, got {self.output_order!r}"
+            )
+        if self.requires_input_order not in (None, "sorted"):
+            raise ValueError(
+                "requires_input_order must be None or 'sorted', "
+                f"got {self.requires_input_order!r}"
+            )
+        if self.fusible_scan and self.scan_kernel is None:
+            raise ValueError(
+                f"fusible_scan spec {self.name!r} must provide a scan_kernel"
+            )
+        if self.fusible_scan and self.output != "records":
+            raise ValueError("fusible scans must produce records")
 
     def estimate_out_items(self, n_items: int, params: dict) -> int:
         """Estimated output record count for ``n_items`` input records.
 
         All current algorithms preserve the record count (or produce
         only a value); ``plan.explain()`` uses this to propagate sizes
-        through a chain without executing."""
+        through a chain without executing.  Masking scans may *reduce*
+        the real count below this estimate — the executor always uses
+        the measured occupancy at run time, so this only affects
+        pre-execution estimates."""
         return 0 if self.output == "value" else n_items
 
 
@@ -156,6 +259,110 @@ def _done(name: str, params: dict) -> None:
         )
 
 
+def occupied_capacity(n_items: int, blocks: int, B: int) -> int:
+    """Public occupied-block capacity ``r`` for ``n_items`` records in a
+    ``blocks``-long layout: full blocks plus the partial block
+    consolidation may leave at the end (the same ``+1`` the selection
+    kernels use).  Shared by the compaction runners (their actual
+    capacity) and the optimizer's feasibility/pricing (its estimated
+    ``r``) so the two can never drift apart."""
+    return min(blocks, ceil_div(max(1, n_items), B) + 1)
+
+
+def _compact_capacity(machine: EMMachine, cons_blocks: int, n_items: int) -> int:
+    return occupied_capacity(n_items, cons_blocks, machine.B)
+
+
+# ---------------------------------------------------------------------------
+# Generic scan runner (the substrate the optimizer's fusion rule uses)
+# ---------------------------------------------------------------------------
+
+
+def run_scan_stages(
+    machine: EMMachine,
+    A: EMArray,
+    stages: list[tuple[ScanKernel, dict]],
+    name: str = "scan",
+) -> EMArray:
+    """One full read+write pass applying ``stages``' kernels in order.
+
+    The trace is a fixed function of ``A``'s length — one read stream and
+    one write stream over every block — regardless of how many kernels
+    are composed, which is exactly why fusing adjacent scans halves their
+    I/O without changing their outputs."""
+    out = machine.alloc(A.num_blocks, f"{A.name}.{name}")
+    for lo, hi in scan_chunks(machine, A.num_blocks, streams=2):
+        with hold_scan(machine, 2, hi - lo):
+
+            def transformed(reads):
+                blocks = reads[0]
+                for kernel, kparams in stages:
+                    blocks = kernel(blocks, kparams)
+                return blocks
+
+            machine.io_rounds(
+                [("r", A, (lo, hi)), ("w", out, (lo, hi), transformed)]
+            )
+    return out
+
+
+def _mask_kernel(blocks: np.ndarray, params: dict) -> np.ndarray:
+    lo, hi = params.get("lo"), params.get("hi")
+    keys = blocks[..., 0]
+    keep = ~is_empty(blocks)
+    if lo is not None:
+        keep &= keys >= lo
+    if hi is not None:
+        keep &= keys <= hi
+    new = blocks.copy()
+    new[..., 0] = np.where(keep, new[..., 0], NULL_KEY)
+    new[..., 1] = np.where(keep, new[..., 1], 0)
+    return new
+
+
+def _scale_values_kernel(blocks: np.ndarray, params: dict) -> np.ndarray:
+    mul, add = params.get("mul", 1), params.get("add", 0)
+    real = ~is_empty(blocks)
+    new = blocks.copy()
+    new[..., 1] = np.where(real, new[..., 1] * mul + add, new[..., 1])
+    return new
+
+
+def _run_mask(machine, A, n_items, rng, params) -> AlgorithmOutput:
+    """Oblivious filter scan: records with key outside ``[lo, hi]`` become
+    ``NULL``.
+
+    The scan itself is oblivious — one fixed read+write pass, layout
+    preserved, the surviving count detectable only under the encryption.
+    But the *count* of survivors is data-dependent, and in this library
+    sizes are public per step (every call's ``n_items`` is public
+    metadata, exactly as in the paper): compose ``mask`` with a further
+    step — facade or pipeline, optimized or not — and the intermediate
+    repack sizes the next step by the surviving count, so the server
+    learns the selectivity.  This mirrors the paper's own marking scans,
+    whose private counts are only re-hidden by compacting to a *public*
+    capacity bound.  Selectivity-hiding composition (upper-bound
+    ``n_items`` threading through NULL-tolerant kernels) is future work;
+    see the adversary-view tests in ``tests/test_obliviousness.py`` which
+    pin both halves of this contract.
+    """
+    kparams = {"lo": params.pop("lo", None), "hi": params.pop("hi", None)}
+    _done("mask", params)
+    return AlgorithmOutput(
+        array=run_scan_stages(machine, A, [(_mask_kernel, kparams)], "mask")
+    )
+
+
+def _run_scale_values(machine, A, n_items, rng, params) -> AlgorithmOutput:
+    kparams = {"mul": params.pop("mul", 1), "add": params.pop("add", 0)}
+    _done("scale_values", params)
+    return AlgorithmOutput(
+        array=run_scan_stages(
+            machine, A, [(_scale_values_kernel, kparams)], "scale"
+        )
+    )
+
+
 # ---------------------------------------------------------------------------
 # Built-in entries
 # ---------------------------------------------------------------------------
@@ -187,6 +394,57 @@ def _run_compact(machine, A, n_items, rng, params) -> AlgorithmOutput:
     return AlgorithmOutput(array=out)
 
 
+def _run_compact_sparse(machine, A, n_items, rng, params) -> AlgorithmOutput:
+    capacity_blocks = params.pop("capacity_blocks", None)
+    _done("compact_sparse", params)
+    cons = consolidate(machine, A)
+    r = (
+        capacity_blocks
+        if capacity_blocks is not None
+        else _compact_capacity(machine, cons.array.num_blocks, n_items)
+    )
+    out = tight_compact_sparse(machine, cons.array, r, rng)
+    if out is not cons.array:
+        machine.free(cons.array)
+    return AlgorithmOutput(array=out)
+
+
+def _run_compact_loose(machine, A, n_items, rng, params) -> AlgorithmOutput:
+    capacity_blocks = params.pop("capacity_blocks", None)
+    _done("compact_loose", params)
+    cons = consolidate(machine, A)
+    r = (
+        capacity_blocks
+        if capacity_blocks is not None
+        else _compact_capacity(machine, cons.array.num_blocks, n_items)
+    )
+    out = loose_compact(machine, cons.array, r, rng)
+    if out is not cons.array:
+        machine.free(cons.array)
+    return AlgorithmOutput(array=out)
+
+
+def _run_compact_logstar(machine, A, n_items, rng, params) -> AlgorithmOutput:
+    capacity_blocks = params.pop("capacity_blocks", None)
+    tower_base = params.pop("tower_base", 4)
+    _done("compact_logstar", params)
+    cons = consolidate(machine, A)
+    r = (
+        capacity_blocks
+        if capacity_blocks is not None
+        else _compact_capacity(machine, cons.array.num_blocks, n_items)
+    )
+    # oblivious_list=True: every sparse-compaction subroutine peels
+    # through the ORAM simulation, keeping the whole path data-oblivious
+    # (the registry contract — direct callers may opt out for speed).
+    out = loose_compact_logstar(
+        machine, cons.array, r, rng, tower_base=tower_base, oblivious_list=True
+    )
+    if out is not cons.array:
+        machine.free(cons.array)
+    return AlgorithmOutput(array=out)
+
+
 def _run_select(machine, A, n_items, rng, params) -> AlgorithmOutput:
     k = params.pop("k")
     compactor = params.pop("compactor", "butterfly")
@@ -196,6 +454,14 @@ def _run_select(machine, A, n_items, rng, params) -> AlgorithmOutput:
         machine, A, n_items, k, rng, compactor=compactor, slack=slack
     )
     return AlgorithmOutput(value=(key, value))
+
+
+def _run_select_sorted(machine, A, n_items, rng, params) -> AlgorithmOutput:
+    k = params.pop("k")
+    params.pop("compactor", None)  # accepted for select-compatibility
+    params.pop("slack", None)
+    _done("select_sorted", params)
+    return AlgorithmOutput(value=select_sorted_em(machine, A, n_items, k))
 
 
 def _run_sort_then_pick(machine, A, n_items, rng, params) -> AlgorithmOutput:
@@ -212,6 +478,13 @@ def _run_quantiles(machine, A, n_items, rng, params) -> AlgorithmOutput:
     return AlgorithmOutput(value=keys)
 
 
+def _run_quantiles_sorted(machine, A, n_items, rng, params) -> AlgorithmOutput:
+    q = params.pop("q")
+    params.pop("slack", None)  # accepted for quantiles-compatibility
+    _done("quantiles_sorted", params)
+    return AlgorithmOutput(value=quantiles_sorted_em(machine, A, n_items, q))
+
+
 def _run_shuffle(machine, A, n_items, rng, params) -> AlgorithmOutput:
     _done("shuffle", params)
     knuth_block_shuffle(machine, A, rng)
@@ -224,24 +497,62 @@ register(AlgorithmSpec(
     _run_sort,
     randomized=True,
     cost_model="sort",
+    output_order="sorted",
+    permutation_invariant=True,
+    permutation_only=True,
+    variants=("sort", "bitonic_sort"),
 ))
 register(AlgorithmSpec(
     "merge_sort",
     "classical external merge sort (optimal, NOT oblivious)",
     _run_merge_sort,
     cost_model="merge_sort",
+    oblivious=False,
+    output_order="sorted",
+    permutation_invariant=True,
+    permutation_only=True,
 ))
 register(AlgorithmSpec(
     "bitonic_sort",
     "oblivious bitonic strawman sort (Lemma 2 substrate)",
     _run_bitonic_sort,
     cost_model="bitonic_sort",
+    output_order="sorted",
+    permutation_invariant=True,
+    permutation_only=True,
+    variants=("bitonic_sort", "sort"),
 ))
 register(AlgorithmSpec(
     "compact",
     "record-level tight compaction (Lemma 3 + Theorem 6)",
     _run_compact,
     cost_model="compact",
+    output_order="same",
+    variants=("compact", "compact_sparse", "compact_loose", "compact_logstar"),
+))
+register(AlgorithmSpec(
+    "compact_sparse",
+    "tight compaction via data-oblivious IBLT + ORAM peel (Theorem 4)",
+    _run_compact_sparse,
+    randomized=True,
+    cost_model="compact_sparse",
+    output_order="same",
+))
+register(AlgorithmSpec(
+    "compact_loose",
+    "loose compaction: thinning + region halving, output 5R (Theorem 8)",
+    _run_compact_loose,
+    randomized=True,
+    cost_model="compact_loose",
+    output_order=None,
+))
+register(AlgorithmSpec(
+    "compact_logstar",
+    "loose compaction, tower-of-twos phases, output 4.25R (Theorem 9)",
+    _run_compact_logstar,
+    randomized=True,
+    cost_model="compact_logstar",
+    output_order=None,
 ))
 register(AlgorithmSpec(
     "select",
@@ -250,6 +561,16 @@ register(AlgorithmSpec(
     randomized=True,
     output="value",
     cost_model="select",
+    permutation_invariant=True,
+    variants=("select", "select_sorted"),
+))
+register(AlgorithmSpec(
+    "select_sorted",
+    "k-th smallest of an already-sorted array: one ranked scan",
+    _run_select_sorted,
+    output="value",
+    cost_model="ranked_scan",
+    requires_input_order="sorted",
 ))
 register(AlgorithmSpec(
     "sort_then_pick",
@@ -257,6 +578,8 @@ register(AlgorithmSpec(
     _run_sort_then_pick,
     output="value",
     cost_model="sort",
+    permutation_invariant=True,
+    variants=("sort_then_pick", "select_sorted"),
 ))
 register(AlgorithmSpec(
     "quantiles",
@@ -265,6 +588,16 @@ register(AlgorithmSpec(
     randomized=True,
     output="value",
     cost_model="quantiles",
+    permutation_invariant=True,
+    variants=("quantiles", "quantiles_sorted"),
+))
+register(AlgorithmSpec(
+    "quantiles_sorted",
+    "q quantiles of an already-sorted array: one ranked scan",
+    _run_quantiles_sorted,
+    output="value",
+    cost_model="ranked_scan",
+    requires_input_order="sorted",
 ))
 register(AlgorithmSpec(
     "shuffle",
@@ -273,4 +606,26 @@ register(AlgorithmSpec(
     randomized=True,
     in_place=True,
     cost_model="shuffle",
+    output_order="random",
+    permutation_only=True,
+))
+register(AlgorithmSpec(
+    "mask",
+    "oblivious filter scan: NULL records with key outside [lo, hi]",
+    _run_mask,
+    cost_model="scan",
+    output_order="same",
+    fusible_scan=True,
+    scan_kernel=_mask_kernel,
+    scan_params=("lo", "hi"),
+))
+register(AlgorithmSpec(
+    "scale_values",
+    "oblivious map scan: values become value*mul + add",
+    _run_scale_values,
+    cost_model="scan",
+    output_order="same",
+    fusible_scan=True,
+    scan_kernel=_scale_values_kernel,
+    scan_params=("mul", "add"),
 ))

@@ -41,6 +41,13 @@ class CostReport:
     its I/Os went through them (the remainder used the scalar path).  The
     modeled cost is unaffected — batching changes constant factors of the
     simulation, never the trace or the I/O counts.
+
+    ``trace_canonical`` digests the same transcript window with array
+    ids renumbered by first appearance — the adversary view *up to
+    array renaming*.  Two runs whose absolute allocation counters differ
+    (e.g. an optimized plan that dropped an upstream step) but whose
+    surviving steps behave identically produce equal canonical digests;
+    the optimizer's equivalence tests rely on this.
     """
 
     reads: int
@@ -49,6 +56,7 @@ class CostReport:
     trace_fingerprint: str | None = None
     batches: int = 0
     batched_ios: int = 0
+    trace_canonical: str | None = None
 
     @property
     def total(self) -> int:
@@ -135,6 +143,10 @@ class StepResult:
     standalone facade call.  ``records`` is populated only for terminal
     record-producing steps (the single server→client extract); ``value``
     carries value outputs (selection pairs, quantile keys).
+
+    ``note`` is the optimizer's annotation when the step was rewritten
+    (``"was sort"`` for a variant substitution, ``"fused mask+mask"``
+    for a scan fusion) — ``None`` for steps executed verbatim.
     """
 
     step: int
@@ -144,6 +156,7 @@ class StepResult:
     value: Any = None
     records: np.ndarray | None = None
     params: Mapping[str, Any] = field(default_factory=dict)
+    note: str | None = None
 
     def __str__(self) -> str:
         n = "-" if self.records is None else str(len(self.records))
@@ -154,12 +167,17 @@ class StepResult:
 class PlanResult:
     """Everything one executed :class:`repro.api.plan.Plan` produced.
 
-    ``steps`` holds one :class:`StepResult` per algorithm node in
-    execution order; ``total`` aggregates their costs (its ``attempts``
-    is the sum over steps; no single fingerprint covers a whole pipeline
-    — read the per-step ones).  ``loads`` / ``extracts`` count the
-    client↔server round trips the plan paid: 1 and 1 for any linear
-    chain, however many steps it has.
+    ``steps`` holds one :class:`StepResult` per *executed* step in
+    execution order — one per algorithm node for a verbatim plan; under
+    ``optimize=True`` dropped/elided nodes produce no step and fused
+    runs share one, so match steps by ``algorithm``/``note`` (or use the
+    :attr:`records` / :attr:`value` accessors) rather than by position.
+    ``total`` aggregates their costs (its ``attempts`` is the sum over
+    steps; no single fingerprint covers a whole pipeline — read the
+    per-step ones).  ``loads`` / ``extracts`` count the client↔server
+    round trips the plan paid: 1 and 1 for any linear chain, however
+    many steps it has (optimized plans keep the verbatim plan's extract
+    count even when elided terminals share one records-bearing step).
     """
 
     steps: tuple[StepResult, ...]

@@ -68,6 +68,14 @@ class ObliviousSession:
         facade calls derive identical randomness.
     retry:
         Las Vegas retry budget; defaults to :class:`RetryPolicy`.
+    optimize:
+        Default for the cost-based plan optimizer
+        (:mod:`repro.api.optimizer`): ``False`` (run plans verbatim —
+        the default), ``True`` (byte-preserving rewrites: drop
+        redundant shuffles, elide sorts of sorted inputs, pick cheaper
+        variants, fuse scans), or ``"aggressive"`` (also
+        distribution-preserving rewrites).  Every ``plan.run()`` /
+        ``plan.explain()`` / facade call can override per call.
     **overrides:
         Shorthand for config fields: ``ObliviousSession(M=64, B=4,
         backend="memmap")``.
@@ -86,13 +94,17 @@ class ObliviousSession:
         *,
         seed: int = 0,
         retry: RetryPolicy | None = None,
+        optimize: bool | str = False,
         **overrides: Any,
     ) -> None:
         config = config if config is not None else EMConfig()
         if overrides:
             config = config.with_overrides(**overrides)
+        from repro.api.optimizer import validate_optimize
+
         self.config = config
         self.retry = retry if retry is not None else RetryPolicy()
+        self.optimize = validate_optimize(optimize)
         self.seed = int(seed)
         self.machine = config.make_machine()
         self._calls = 0
@@ -143,7 +155,14 @@ class ObliviousSession:
 
     # -- generic dispatch --------------------------------------------------
 
-    def run(self, algorithm: str, data, **params: Any) -> Result:
+    def run(
+        self,
+        algorithm: str,
+        data,
+        *,
+        optimize: bool | str | None = None,
+        **params: Any,
+    ) -> Result:
         """Run a registered ``algorithm`` over ``data``.
 
         A thin single-node plan: loads the records onto the session's
@@ -151,7 +170,11 @@ class ObliviousSession:
         derived RNG, retries Las Vegas failures up to
         ``retry.max_attempts`` times, extracts the output, and returns a
         :class:`Result`.  Raises :class:`repro.errors.RetryExhausted`
-        when every attempt fails.
+        when every attempt fails.  ``optimize`` (keyword-only, reserved)
+        overrides the session's optimizer default — on a single-step
+        plan only the variant-substitution rule can fire (e.g.
+        ``compact`` of a genuinely sparse layout takes the Theorem 4 or
+        Theorem 8 path when the cost model favours it).
 
         Every call frees the server arrays it allocated, and its
         ``cost.trace_fingerprint`` is snapshotted over exactly the
@@ -164,7 +187,7 @@ class ObliviousSession:
         if self._closed:
             raise RuntimeError("session is closed")
         target = self.dataset(data).apply(algorithm, **params)
-        plan_result = target.run()
+        plan_result = target.run(optimize)
         step = plan_result.steps[-1]
         return Result(
             algorithm=step.algorithm,

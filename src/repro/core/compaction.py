@@ -579,6 +579,7 @@ def loose_compact_logstar(
     tower_base: int = 4,
     n0: int = 32,
     region_compactor: str = "butterfly",
+    oblivious_list: bool = False,
 ) -> EMArray:
     """Theorem 9: loose compaction into ``ceil(4.25 r)`` blocks using
     ``O((N/B) log*(N/B))`` I/Os and only ``B >= 1``, ``M >= 2B``.
@@ -594,7 +595,13 @@ def loose_compact_logstar(
     paper's value the phase condition ``r/t_i^4 > n/log^2 n`` only
     triggers beyond ``n ~ 2^32``).  ``region_compactor`` selects the
     per-region tight compactor: ``"butterfly"`` (deterministic, default)
-    or ``"iblt"`` (the paper's Theorem-4 choice).
+    or ``"iblt"`` (the paper's Theorem-4 choice).  ``oblivious_list``
+    routes every Theorem-4 subroutine's peel through the ORAM simulation
+    (the paper's fully-oblivious construction); the default ``False``
+    keeps the historical fast direct peel, whose access pattern reveals
+    which blocks were occupied — callers needing a data-independent
+    transcript (e.g. the ``compact_logstar`` registry entry) must pass
+    ``True``.
     """
     n = A.num_blocks
     if r < 1:
@@ -620,7 +627,7 @@ def loose_compact_logstar(
     if r < n / log2n_sq:
         # Sparse base case: Theorem 4 directly, padded to the loose size.
         sparse = tight_compact_sparse(
-            machine, A, r, rng, oblivious_list=False, strict=True
+            machine, A, r, rng, oblivious_list=oblivious_list, strict=True
         )
         out = machine.alloc(out_cap, f"{A.name}.lstar.out")
         copy_blocks(machine, sparse, 0, out, 0, sparse.num_blocks)
@@ -661,7 +668,7 @@ def loose_compact_logstar(
                     reg_arr,
                     min(r_i, size),
                     rng,
-                    oblivious_list=False,
+                    oblivious_list=oblivious_list,
                     strict=False,
                 )
             # Copy the compacted region back over its slot in `work`; the
@@ -691,7 +698,7 @@ def loose_compact_logstar(
 
     # Final: Theorem 4 into the last 0.25 r cells of D.
     tail, ok = tight_compact_sparse(
-        machine, work, tail_cap, rng, oblivious_list=False, strict=False
+        machine, work, tail_cap, rng, oblivious_list=oblivious_list, strict=False
     )
     machine.free(work)
     if not ok:

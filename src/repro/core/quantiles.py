@@ -43,7 +43,12 @@ from repro.em.storage import EMArray
 from repro.networks.comparator import sort_records
 from repro.util.mathx import ceil_div
 
-__all__ = ["QuantileFailure", "quantiles_em", "QuantileReport"]
+__all__ = [
+    "QuantileFailure",
+    "quantiles_em",
+    "quantiles_sorted_em",
+    "QuantileReport",
+]
 
 
 class QuantileFailure(EMError, LasVegasFailure):
@@ -263,3 +268,36 @@ def quantiles_em(
     if report:
         return QuantileReport(keys, sample_size=c_s, marked=c_marked)
     return keys
+
+
+def quantiles_sorted_em(
+    machine: EMMachine,
+    A: EMArray,
+    n_items: int,
+    q: int,
+) -> np.ndarray:
+    """Return the ``q`` quantile keys of an *already key-sorted* ``A``.
+
+    The degenerate case of Theorem 17: when the input order is known to
+    be sorted (e.g. the step follows an oblivious sort in a pipeline),
+    every quantile sits at a public rank and one fixed-pattern ranked
+    scan reads them all off — ``O(N/B)`` I/Os, deterministic, no
+    sampling and no Las Vegas retry.  The plan optimizer substitutes
+    this for ``quantiles`` when the producing step declares sorted
+    output; callers using it directly are responsible for the sortedness
+    precondition (an unsorted input silently yields the keys at the
+    quantile *positions*, not the true quantiles).
+    """
+    if q < 1:
+        raise ValueError(f"need q >= 1 quantiles, got {q}")
+    if n_items < q:
+        raise ValueError(f"cannot take {q} quantiles of {n_items} items")
+    targets = _target_ranks(n_items, q)
+    got = _ranked_keys_scan(machine, A, sorted(set(targets)))
+    missing = [t for t in targets if t not in got]
+    if missing:
+        raise ValueError(
+            f"array holds fewer than {max(missing)} real records "
+            f"(caller claimed {n_items})"
+        )
+    return np.array([got[t] for t in targets], dtype=np.int64)

@@ -253,3 +253,28 @@ def select_em(
             key=answer[0], value=answer[1], sample_size=c_s, candidate_size=candidates
         )
     return answer
+
+
+def select_sorted_em(
+    machine: EMMachine,
+    A: EMArray,
+    n_items: int,
+    k: int,
+) -> tuple[int, int]:
+    """Select the ``k``-th smallest record of an *already key-sorted* ``A``.
+
+    The degenerate case of Theorem 13: with the input order known to be
+    sorted, rank ``k`` is a public position and a single fixed-pattern
+    ranked scan reads the answer off — ``O(N/B)`` I/Os, deterministic.
+    The plan optimizer substitutes this for ``select`` when the
+    producing step declares sorted output; direct callers own the
+    sortedness precondition.
+    """
+    if not (1 <= k <= n_items):
+        raise ValueError(f"rank k={k} out of range [1, {n_items}]")
+    picked = _sorted_rank_pick(machine, A, [k])[0]
+    if picked is None:
+        raise ValueError(
+            f"array holds fewer than {k} real records (caller claimed {n_items})"
+        )
+    return picked

@@ -188,9 +188,18 @@ class AccessTrace:
         """
         return len(self)
 
-    def as_array(self, since: int = 0) -> np.ndarray:
+    def as_array(self, since: int = 0, *, canonical: bool = False) -> np.ndarray:
         """Export the transcript (from event ``since`` on) as an
-        ``(n, 3)`` int64 array."""
+        ``(n, 3)`` int64 array.
+
+        ``canonical=True`` renumbers the array-id column by first
+        appearance within the exported window (0, 1, 2, …): the
+        adversary view *up to array renaming*.  Two windows with
+        identical operations, sizes and block indices but shifted
+        absolute allocation counters — e.g. the same pipeline step run
+        after a different number of earlier allocations — export
+        identically.
+        """
         n = len(self)
         since = max(0, since)
         if n <= since:
@@ -201,11 +210,30 @@ class AccessTrace:
             parts.append(self._cur[: self._pos])
         if off:
             parts[0] = parts[0][off:]
-        if len(parts) == 1:
-            return parts[0].copy()
-        return np.concatenate(parts)
+        arr = parts[0].copy() if len(parts) == 1 else np.concatenate(parts)
+        return self._canonicalize(arr) if canonical else arr
 
-    def fingerprint(self, since: int = 0) -> str:
+    @staticmethod
+    def _canonicalize(arr: np.ndarray) -> np.ndarray:
+        """Renumber the array-id column of an exported window in place."""
+        if len(arr):
+            ids = arr[:, 1]
+            uniq, first_pos = np.unique(ids, return_index=True)
+            ranks = np.empty(len(uniq), dtype=np.int64)
+            ranks[np.argsort(first_pos, kind="stable")] = np.arange(len(uniq))
+            arr[:, 1] = ranks[np.searchsorted(uniq, ids)]
+        return arr
+
+    def fingerprint_pair(self, since: int = 0) -> tuple[str, str]:
+        """``(fingerprint, canonical fingerprint)`` of one window, from a
+        single export — the per-step hot path in the pipeline executor
+        computes both, and exporting the window twice would double the
+        trace-copy cost PR 2 worked to keep down."""
+        arr = self.as_array(since)
+        plain = hashlib.sha256(arr.tobytes()).hexdigest()
+        return plain, hashlib.sha256(self._canonicalize(arr).tobytes()).hexdigest()
+
+    def fingerprint(self, since: int = 0, *, canonical: bool = False) -> str:
         """Return a SHA-256 digest of the transcript.
 
         Two runs are indistinguishable to the adversary iff their
@@ -213,8 +241,13 @@ class AccessTrace:
         ``since`` (a :meth:`mark` value) digests only the suffix recorded
         after the mark — the digest of that suffix equals the digest an
         empty trace would have produced for the same events.
+        ``canonical=True`` digests the renamed-array view (see
+        :meth:`as_array`) — equal across runs that differ only in how
+        many arrays existed before the window.
         """
-        return hashlib.sha256(self.as_array(since).tobytes()).hexdigest()
+        return hashlib.sha256(
+            self.as_array(since, canonical=canonical).tobytes()
+        ).hexdigest()
 
     def shape_fingerprint(self) -> str:
         """Digest of the transcript's *shape*: ops and array ids, without

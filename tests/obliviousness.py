@@ -1,0 +1,169 @@
+"""Reusable adversary-view harness: transcript ≡ f(n, params, seed).
+
+The paper (§1) calls a computation data-oblivious when the adversary's
+view depends only on the public problem parameters, never on data
+values.  All library randomness flows from an explicit seed, so the
+distributional statement becomes an executable one (the same move as
+:mod:`repro.oblivious.verifier`, lifted to the ``repro.api`` layer):
+
+    With ``(n, params, seed)`` held fixed, the complete machine
+    transcript must be *bit-identical* for any two inputs — any
+    permutation of the records, any assignment of key/value contents.
+
+:func:`adversary_fingerprint` runs one registered algorithm through a
+fresh session's pipeline executor (optimized or verbatim) and returns
+the full machine-trace fingerprint — every allocation, I/O and free the
+adversary observed, all attempts included.  :func:`workload` fabricates
+per-algorithm inputs whose *public shape* is pinned by this module
+(layout length, occupancy, ``k``/``q``/``slack``) while everything
+private varies with the given generator.  The property tests in
+``test_obliviousness.py`` drive both under hypothesis; the harness is
+deliberately import-friendly so future algorithm PRs can reuse it
+(``from obliviousness import assert_adversary_view_invariant``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.api import (
+    NULL_KEY,
+    EMConfig,
+    ObliviousSession,
+    RetryPolicy,
+    get_algorithm,
+)
+
+__all__ = [
+    "SEED",
+    "workload",
+    "adversary_fingerprint",
+    "assert_adversary_view_invariant",
+]
+
+#: The fixed session seed every invariance comparison runs under.
+SEED = 0xD0B1
+
+#: Public workload shape per algorithm: chosen so every Las Vegas entry
+#: completes in one attempt at :data:`SEED` for any data (a retry's
+#: truncated attempt window is *legitimate* public leakage — the paper's
+#: algorithms are oblivious per attempt — but it would make bit-equality
+#: across datasets vacuously false, so the shapes keep failure
+#: probabilities negligible; ``slack`` widens the Lemma 10/14 caps).
+_RECORDS_N = 96
+_VALUE_N = 128
+_SPARSE = {
+    # name -> (layout blocks, occupied records, machine M)
+    "compact": (32, 6, 64),
+    "compact_sparse": (16, 3, 64),
+    "compact_logstar": (48, 3, 64),
+    "compact_loose": (64, 8, 256),
+}
+
+
+def _sparse_layout(
+    n_blocks: int, occupied: int, B: int, rng: np.random.Generator
+) -> np.ndarray:
+    """A fixed-shape sparse layout: ``occupied`` live records scattered
+    over ``n_blocks`` blocks at rng-chosen block positions."""
+    layout = np.zeros((n_blocks * B, 2), dtype=np.int64)
+    layout[:, 0] = NULL_KEY
+    live = rng.choice(n_blocks, size=occupied, replace=False)
+    layout[live * B, 0] = rng.choice(10**6, size=occupied, replace=False) + 1
+    layout[live * B, 1] = rng.integers(0, 10**6, size=occupied)
+    return layout
+
+
+def workload(
+    name: str, rng: np.random.Generator
+) -> tuple[np.ndarray, dict, dict]:
+    """``(data, params, config_kwargs)`` for one registered algorithm.
+
+    Everything public (sizes, occupancy, parameters, machine shape) is a
+    fixed function of ``name``; everything private (key values, value
+    column, record order, which blocks a sparse layout occupies) is
+    drawn from ``rng``."""
+    spec = get_algorithm(name)
+    if name in _SPARSE:
+        n_blocks, occupied, M = _SPARSE[name]
+        B = 4
+        return _sparse_layout(n_blocks, occupied, B, rng), {}, {"M": M, "B": B}
+    n = _VALUE_N if spec.output == "value" else _RECORDS_N
+    keys = rng.choice(10**6, size=n, replace=False)
+    if spec.requires_input_order == "sorted":
+        keys = np.sort(keys)
+    data = np.stack([keys, rng.integers(0, 10**6, size=n)], axis=1).astype(
+        np.int64
+    )
+    if name in ("select", "select_sorted", "sort_then_pick"):
+        params: dict = {"k": n // 2}
+        if name == "select":
+            params["slack"] = 2.0
+    elif name in ("quantiles", "quantiles_sorted"):
+        params = {"q": 4}
+        if name == "quantiles":
+            params["slack"] = 2.0
+    elif name == "mask":
+        params = {"lo": 10**4, "hi": 9 * 10**5}
+    elif name == "scale_values":
+        params = {"mul": 3, "add": 7}
+    else:
+        params = {}
+    return data, params, {"M": 64, "B": 4}
+
+
+def adversary_fingerprint(
+    name: str,
+    data: np.ndarray,
+    params: dict,
+    *,
+    optimize: bool | str = False,
+    backend: str = "memory",
+    config_kwargs: dict | None = None,
+    seed: int = SEED,
+) -> tuple[str, int]:
+    """Run ``name`` over ``data`` in a fresh session and return the full
+    machine-transcript fingerprint plus the Las Vegas attempt count.
+
+    The fingerprint covers the *entire* adversary view of the run —
+    the upload allocation, every block I/O of every attempt, and the
+    teardown frees — which is strictly stronger than the per-step
+    ``CostReport`` window."""
+    cfg = EMConfig(backend=backend, **(config_kwargs or {"M": 64, "B": 4}))
+    with ObliviousSession(
+        cfg, seed=seed, retry=RetryPolicy(max_attempts=6)
+    ) as session:
+        result = session.dataset(data).apply(name, **params).run(optimize)
+        return session.machine.trace.fingerprint(), result.total.attempts
+
+
+def assert_adversary_view_invariant(
+    name: str,
+    datasets,
+    params: dict,
+    *,
+    optimize: bool | str = False,
+    backend: str = "memory",
+    config_kwargs: dict | None = None,
+    seed: int = SEED,
+) -> str:
+    """Assert all ``datasets`` produce bit-identical adversary views at
+    fixed ``(n, params, seed)``; returns the common fingerprint."""
+    views = {}
+    for i, data in enumerate(datasets):
+        fp, attempts = adversary_fingerprint(
+            name,
+            data,
+            params,
+            optimize=optimize,
+            backend=backend,
+            config_kwargs=config_kwargs,
+            seed=seed,
+        )
+        views.setdefault(fp, []).append((i, attempts))
+    assert len(views) == 1, (
+        f"{name!r} leaked data through its transcript: "
+        f"{len(views)} distinct adversary views over "
+        f"{len(datasets)} same-shape inputs: {views}"
+    )
+    return next(iter(views))

@@ -1,0 +1,86 @@
+"""benchmarks/compare.py: the cross-PR artifact diff tool."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+COMPARE = REPO / "benchmarks" / "compare.py"
+
+
+def _write(dirpath: Path, name: str, payload: dict) -> None:
+    dirpath.mkdir(parents=True, exist_ok=True)
+    (dirpath / f"BENCH_{name}.json").write_text(json.dumps(payload))
+
+
+def _run(*args: str):
+    return subprocess.run(
+        [sys.executable, str(COMPARE), *args],
+        capture_output=True,
+        text=True,
+        cwd=REPO,
+    )
+
+
+def test_compare_reports_deltas_and_regressions(tmp_path):
+    old, new = tmp_path / "old", tmp_path / "new"
+    base = {"total_ios": 1000, "wall_seconds": 1.0, "attempts": 1,
+            "mean_batch_size": 8.0}
+    _write(old, "sort", base)
+    _write(new, "sort", {**base, "total_ios": 1200})  # deterministic regression
+    _write(old, "shuffle", base)
+    _write(new, "shuffle", {**base, "total_ios": 900})  # improvement
+    _write(new, "mask", base)  # added algorithm: a note, not a regression
+    _write(old, "pipeline", {"total_ios": 5000, "optimized_total_ios": 2000,
+                             "pipeline_round_trips": 2,
+                             "pipeline_wall_seconds": 1.0,
+                             "optimized_wall_seconds": 0.5})
+    _write(new, "pipeline", {"total_ios": 5000, "optimized_total_ios": 1800,
+                             "pipeline_round_trips": 2,
+                             "pipeline_wall_seconds": 1.05,
+                             "optimized_wall_seconds": 0.45})
+
+    proc = _run(str(old), str(new))
+    assert proc.returncode == 0, proc.stderr  # non-blocking by default
+    assert "REGRESSION sort.total_ios: 1000 → 1200" in proc.stdout
+    assert "new artifact: mask" in proc.stdout
+    assert "optimized_total_ios" in proc.stdout
+    assert "1 regression(s)" in proc.stdout
+
+    proc = _run(str(old), str(new), "--fail-on-regression")
+    assert proc.returncode == 1
+
+
+def test_mean_batch_size_direction_is_higher_is_better(tmp_path):
+    old, new = tmp_path / "old", tmp_path / "new"
+    base = {"total_ios": 1000, "wall_seconds": 1.0, "attempts": 1,
+            "mean_batch_size": 8.0}
+    _write(old, "sort", base)
+    _write(new, "sort", {**base, "mean_batch_size": 16.0})  # improvement
+    _write(old, "compact", base)
+    _write(new, "compact", {**base, "mean_batch_size": 4.0})  # degradation
+    proc = _run(str(old), str(new))
+    assert proc.returncode == 0
+    assert "REGRESSION sort.mean_batch_size" not in proc.stdout
+    assert "REGRESSION compact.mean_batch_size" in proc.stdout
+
+
+def test_compare_is_quiet_on_identical_dirs(tmp_path):
+    d = tmp_path / "same"
+    _write(d, "sort", {"total_ios": 10, "wall_seconds": 0.1, "attempts": 1,
+                       "mean_batch_size": 4.0})
+    proc = _run(str(d), str(d))
+    assert proc.returncode == 0
+    assert "0 regression(s)" in proc.stdout
+
+
+def test_compare_tolerates_empty_baseline(tmp_path):
+    """CI's first run has no previous artifacts — must not fail."""
+    old, new = tmp_path / "old", tmp_path / "new"
+    old.mkdir()
+    _write(new, "sort", {"total_ios": 10, "wall_seconds": 0.1, "attempts": 1,
+                         "mean_batch_size": 4.0})
+    proc = _run(str(old), str(new))
+    assert proc.returncode == 0
+    assert "nothing to diff" in proc.stdout

@@ -1,0 +1,68 @@
+"""MemmapBackend under the pipeline executor.
+
+The facade and engine tests already cover memmap for single calls; this
+module runs the canonical 3-step chain (shuffle → compact → sort)
+through the *pipeline executor* on both backends — verbatim and
+optimized — and asserts the storage layer is invisible: identical
+results, identical per-step trace fingerprints, identical cost counters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import EMConfig, ObliviousSession
+
+M, B = 64, 4
+SEED = 321
+
+
+def _run_chain(backend: str, optimize):
+    keys = np.random.default_rng(9).permutation(np.arange(240))
+    with ObliviousSession(
+        EMConfig(M=M, B=B, backend=backend), seed=SEED
+    ) as session:
+        result = session.dataset(keys).shuffle().compact().sort().run(optimize)
+        leftover = len(session.machine._arrays)
+        summary = session.cost_summary()
+    return result, leftover, summary
+
+
+@pytest.mark.parametrize("optimize", [False, True], ids=["plain", "optimized"])
+def test_pipeline_chain_identical_across_backends(optimize):
+    r_mem, left_mem, sum_mem = _run_chain("memory", optimize)
+    r_map, left_map, sum_map = _run_chain("memmap", optimize)
+
+    # Identical results.
+    assert np.array_equal(r_mem.records, r_map.records)
+    assert left_mem == left_map == 0
+
+    # Identical per-step fingerprints and cost counters, step by step.
+    assert len(r_mem.steps) == len(r_map.steps)
+    for s_mem, s_map in zip(r_mem.steps, r_map.steps):
+        assert s_mem.algorithm == s_map.algorithm
+        assert s_mem.note == s_map.note
+        assert s_mem.cost == s_map.cost  # fingerprints, reads, writes, batches
+        assert s_mem.cost.trace_fingerprint is not None
+
+    # Identical totals and round trips.
+    assert r_mem.total == r_map.total
+    assert (r_mem.loads, r_mem.extracts) == (r_map.loads, r_map.extracts) == (1, 1)
+
+    # Identical session-level accounting (loads/extracts/machine I/Os).
+    assert sum_mem == sum_map
+
+
+def test_optimized_chain_differs_from_plain_but_backends_agree():
+    """Sanity: the optimizer changes the transcript (it rewrote steps),
+    but both backends agree on what it changed to."""
+    r_plain, _, _ = _run_chain("memory", False)
+    r_opt, _, _ = _run_chain("memmap", True)
+    # The shuffle survives (compact is order-sensitive) but the sort was
+    # substituted — outputs still byte-identical.
+    assert np.array_equal(r_plain.records, r_opt.records)
+    assert [s.algorithm for s in r_plain.steps] == ["shuffle", "compact", "sort"]
+    assert [s.algorithm for s in r_opt.steps] == [
+        "shuffle",
+        "compact",
+        "bitonic_sort",
+    ]
