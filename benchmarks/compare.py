@@ -33,17 +33,43 @@ PIPELINE_METRICS = (
     "pipeline_wall_seconds",
     "optimized_wall_seconds",
 )
+ORAM_METRICS = ("total_ios", "wall_seconds", "peel_constant_per_r15")
+#: Artifacts with their own metric tables; everything else uses METRICS.
+#: A metric missing on either side (schema drift between PRs, or a brand
+#: new artifact like BENCH_oram.json on its first compare) is reported as
+#: a note, never an error.
+ARTIFACT_METRICS = {"pipeline": PIPELINE_METRICS, "oram": ORAM_METRICS}
 #: Deterministic metrics: any worsening is flagged regardless of threshold.
-EXACT = {"total_ios", "optimized_total_ios", "pipeline_round_trips", "attempts"}
+EXACT = {
+    "total_ios",
+    "optimized_total_ios",
+    "pipeline_round_trips",
+    "attempts",
+    "peel_constant_per_r15",
+}
 #: Metrics where a *larger* value is the good direction (batch quality).
 HIGHER_IS_BETTER = {"mean_batch_size"}
 
 
-def load_dir(path: Path) -> dict[str, dict]:
-    """``{artifact name: parsed json}`` for every BENCH_*.json in ``path``."""
+def load_dir(path: Path, notes: list[str] | None = None) -> dict[str, dict]:
+    """``{artifact name: parsed json}`` for every BENCH_*.json in ``path``.
+
+    Unreadable or non-object artifacts are skipped with a note — a
+    corrupt upload from one CI run must not kill every future compare
+    against it."""
     out = {}
     for f in sorted(path.glob("BENCH_*.json")):
-        out[f.stem.removeprefix("BENCH_")] = json.loads(f.read_text())
+        try:
+            payload = json.loads(f.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            if notes is not None:
+                notes.append(f"unreadable artifact {f.name}: {exc}")
+            continue
+        if not isinstance(payload, dict):
+            if notes is not None:
+                notes.append(f"malformed artifact {f.name}: not a JSON object")
+            continue
+        out[f.stem.removeprefix("BENCH_")] = payload
     return out
 
 
@@ -64,12 +90,17 @@ def diff_artifacts(
         if name not in new:
             notes.append(f"removed artifact: {name}")
             continue
-        metrics = PIPELINE_METRICS if name == "pipeline" else METRICS
+        metrics = ARTIFACT_METRICS.get(name, METRICS)
         for metric in metrics:
             a, b = old[name].get(metric), new[name].get(metric)
             if a is None or b is None:
                 if a != b:
                     notes.append(f"{name}.{metric}: {a} → {b} (metric added/removed)")
+                continue
+            if not all(isinstance(v, (int, float)) for v in (a, b)):
+                notes.append(
+                    f"{name}.{metric}: non-numeric values {a!r} → {b!r} (skipped)"
+                )
                 continue
             delta = (b - a) / a * 100.0 if a else (0.0 if b == a else float("inf"))
             rows.append([name, metric, a, b, delta])
@@ -125,14 +156,18 @@ def main(argv: list[str] | None = None) -> int:
         if not d.is_dir():
             print(f"compare: {d} is not a directory", file=sys.stderr)
             return 2
-    old, new = load_dir(args.old), load_dir(args.new)
+    load_notes: list[str] = []
+    old, new = load_dir(args.old, load_notes), load_dir(args.new, load_notes)
     if not old or not new:
+        for note in load_notes:
+            print(note)
         print(
             f"compare: nothing to diff ({len(old)} baseline / "
             f"{len(new)} candidate artifacts)"
         )
         return 0
     rows, notes = diff_artifacts(old, new, args.threshold)
+    notes = load_notes + notes
     print(render(rows))
     if notes:
         print()

@@ -155,6 +155,16 @@ def build_workload(name: str, n: int, B: int, rng: np.random.Generator, M: int):
 
         return keys, {}, validate
 
+    if name == "oram_read_batch":
+        ranks = list(range(0, n, max(1, n // 16)))
+
+        def validate(result):
+            assert result.keys.tolist() == [int(keys[r]) for r in ranks], (
+                "ORAM reads returned the wrong records"
+            )
+
+        return keys, {"indices": ranks}, validate
+
     # Sorting algorithms — and a sensible default for future entries.
     def validate(result):
         if result.records is not None:
@@ -247,11 +257,86 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{name:>15}  {'-':>8}  {'-':>8}  {elapsed:>6.2f}  FAIL: {exc}")
             failures += 1
     failures += run_pipeline_comparison(n, config, args.seed, json_dir)
+    failures += run_oram_benchmark(args.smoke, args.seed, json_dir)
     if failures:
         print(f"\n{failures} algorithm(s) failed")
         return 1
     print("\nall registered algorithms ran clean through the facade")
     return 0
+
+
+def run_oram_benchmark(smoke: bool, seed: int, json_dir) -> int:
+    """Measure the ORAM-simulated Theorem-4 peel at the reference shapes
+    and write ``BENCH_oram.json`` (peel constant per ``r^1.5``) so
+    ``benchmarks/compare.py`` tracks the ORAM hot-loop speedup across
+    PRs.  The shapes mirror the calibration comments in
+    ``repro.analysis.bounds`` (scalar baseline was 82k–105k; the batched
+    + restructured peel measures ~24k–28k)."""
+    import math
+
+    from repro.core.compaction import tight_compact_sparse
+    from repro.em.block import NULL_KEY as NULL
+    from repro.em.machine import EMMachine
+
+    shapes = [(32, 2), (64, 3)] + ([] if smoke else [(128, 5)])
+    M, B = 64, 4
+    rows = []
+    try:
+        start = time.perf_counter()
+        for n_blocks, r in shapes:
+            layout = np.zeros((n_blocks * B, 2), dtype=np.int64)
+            layout[:, 0] = NULL
+            rng = np.random.default_rng(seed)
+            live = np.sort(rng.choice(n_blocks, size=r, replace=False))
+            layout[live * B, 0] = live + 1
+            machine = EMMachine(M=M, B=B, trace=False)
+            A = machine.alloc(n_blocks, "bench.oram")
+            A.load_flat(layout)
+            t0 = time.perf_counter()
+            out = tight_compact_sparse(
+                machine, A, r, np.random.default_rng(seed + 99),
+                oblivious_list=True,
+            )
+            dt = time.perf_counter() - t0
+            got = [int(out.raw[j][0, 0]) for j in range(r)]
+            assert got == (live + 1).tolist(), "oblivious peel lost records"
+            total = machine.total_ios
+            constant = (total - 13 * n_blocks) / r**1.5
+            rows.append({
+                "n_blocks": n_blocks,
+                "r": r,
+                "total_ios": total,
+                "peel_constant_per_r15": constant,
+                "wall_seconds": dt,
+            })
+        wall = time.perf_counter() - start
+        geomean = math.exp(
+            sum(math.log(row["peel_constant_per_r15"]) for row in rows)
+            / len(rows)
+        )
+        print(
+            f"\nORAM-simulated peel (Theorem 4, oblivious_list=True): "
+            f"constant {geomean:.0f} I/Os per r^1.5 over "
+            f"{[(row['n_blocks'], row['r']) for row in rows]} "
+            f"({wall:.2f}s)"
+        )
+        if json_dir is not None:
+            artifact = {
+                "workload": "tight_compact_sparse oblivious ORAM peel",
+                "M": M,
+                "B": B,
+                "seed": seed,
+                "shapes": rows,
+                "total_ios": sum(row["total_ios"] for row in rows),
+                "wall_seconds": wall,
+                "peel_constant_per_r15": geomean,
+            }
+            path = json_dir / "BENCH_oram.json"
+            path.write_text(json.dumps(artifact, indent=2) + "\n")
+        return 0
+    except Exception as exc:  # noqa: BLE001 - report, then fail the run
+        print(f"\nORAM peel benchmark FAILED: {exc}")
+        return 1
 
 
 def run_pipeline_comparison(n, config, seed, json_dir) -> int:

@@ -31,7 +31,7 @@ from typing import Any, Callable
 import numpy as np
 
 from repro.baselines import bitonic_external_sort, external_merge_sort, sort_then_pick
-from repro.core._helpers import hold_scan, scan_chunks
+from repro.core._helpers import empty_block, hold_scan, scan_chunks
 from repro.core.compaction import (
     loose_compact,
     loose_compact_logstar,
@@ -46,6 +46,7 @@ from repro.core.sorting import oblivious_sort
 from repro.em.block import NULL_KEY, is_empty
 from repro.em.machine import EMMachine
 from repro.em.storage import EMArray
+from repro.oram.square_root import SquareRootORAM
 from repro.util.mathx import ceil_div
 
 __all__ = [
@@ -181,6 +182,9 @@ class AlgorithmSpec:
     scan_params: tuple[str, ...] = ()
     requires_input_order: str | None = None
     variants: tuple[str, ...] = ()
+    #: Optional output-size rule ``(n_items, params) -> int``; when absent
+    #: the default is "record count preserved" (or 0 for value outputs).
+    out_items: Callable[[int, dict], int] | None = None
 
     def __post_init__(self) -> None:
         if self.output not in ("records", "value"):
@@ -206,12 +210,16 @@ class AlgorithmSpec:
     def estimate_out_items(self, n_items: int, params: dict) -> int:
         """Estimated output record count for ``n_items`` input records.
 
-        All current algorithms preserve the record count (or produce
-        only a value); ``plan.explain()`` uses this to propagate sizes
-        through a chain without executing.  Masking scans may *reduce*
-        the real count below this estimate — the executor always uses
-        the measured occupancy at run time, so this only affects
-        pre-execution estimates."""
+        Specs with an ``out_items`` rule (e.g. ``oram_read_batch``, whose
+        output size is the request length) use it; all other algorithms
+        preserve the record count (or produce only a value).
+        ``plan.explain()`` uses this to propagate sizes through a chain
+        without executing.  Masking scans may *reduce* the real count
+        below this estimate — the executor always uses the measured
+        occupancy at run time, so this only affects pre-execution
+        estimates."""
+        if self.out_items is not None:
+            return int(self.out_items(n_items, params))
         return 0 if self.output == "value" else n_items
 
 
@@ -491,6 +499,54 @@ def _run_shuffle(machine, A, n_items, rng, params) -> AlgorithmOutput:
     return AlgorithmOutput(array=A)
 
 
+def _run_oram_read_batch(machine, A, n_items, rng, params) -> AlgorithmOutput:
+    """Fetch records by rank through a square-root ORAM.
+
+    The requested *positions* stay hidden in the ORAM's standard
+    (distributional) sense: probe positions are pseudorandom tags never
+    reused within an epoch, so a server observing the run learns
+    ``len(indices)`` (the output size — sizes are public per step, as
+    everywhere in this library) but cannot distinguish which ranks were
+    read (see the obliviousness discussion in
+    :mod:`repro.oram.square_root`).  Output records appear in request
+    order; duplicate ranks are allowed.
+    """
+    indices = params.pop("indices")
+    _done("oram_read_batch", params)
+    idx = np.asarray(indices, dtype=np.int64).reshape(-1)
+    if idx.size == 0:
+        raise ValueError("oram_read_batch needs at least one index")
+    if bool(np.any((idx < 0) | (idx >= max(1, n_items)))):
+        raise IndexError(
+            f"oram_read_batch ranks must lie in [0, {n_items}), got "
+            f"[{int(idx.min())}, {int(idx.max())}]"
+        )
+    B = machine.B
+    oram = SquareRootORAM(
+        machine, A.num_blocks, rng, initial=A, name=f"{A.name}.oram"
+    )
+    out = machine.alloc_cells(len(idx), f"{A.name}.reads")
+    # One ORAM access per request; output blocks flush on a fixed schedule
+    # (every B requests, plus one final partial block).
+    with machine.cache.hold(2):
+        buf = empty_block(B)
+        filled = 0
+        out_block = 0
+        for rank in idx:
+            blk = oram.read(int(rank) // B)
+            buf[filled] = blk[int(rank) % B]
+            filled += 1
+            if filled == B:
+                machine.write(out, out_block, buf)
+                out_block += 1
+                filled = 0
+                buf = empty_block(B)
+        if filled:
+            machine.write(out, out_block, buf)
+    oram.free()
+    return AlgorithmOutput(array=out)
+
+
 register(AlgorithmSpec(
     "sort",
     "Theorem 21 oblivious external-memory sort",
@@ -537,6 +593,7 @@ register(AlgorithmSpec(
     randomized=True,
     cost_model="compact_sparse",
     output_order="same",
+    variants=("compact_sparse", "compact"),
 ))
 register(AlgorithmSpec(
     "compact_loose",
@@ -553,6 +610,11 @@ register(AlgorithmSpec(
     randomized=True,
     cost_model="compact_logstar",
     output_order=None,
+    # Tight compactors may stand in (their "same"-order contract is
+    # strictly stronger, so the optimizer's order fence applies): the
+    # record multiset is identical and, at genuinely sparse shapes, the
+    # recalibrated Theorem-4 path now often prices below the phases.
+    variants=("compact_logstar", "compact", "compact_sparse"),
 ))
 register(AlgorithmSpec(
     "select",
@@ -608,6 +670,14 @@ register(AlgorithmSpec(
     cost_model="shuffle",
     output_order="random",
     permutation_only=True,
+))
+register(AlgorithmSpec(
+    "oram_read_batch",
+    "batched oblivious reads: fetch records by rank via square-root ORAM",
+    _run_oram_read_batch,
+    cost_model="oram_read_batch",
+    output_order=None,
+    out_items=lambda n_items, params: len(params.get("indices", ())),
 ))
 register(AlgorithmSpec(
     "mask",

@@ -16,7 +16,6 @@ constants.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 
 import numpy as np
@@ -81,17 +80,36 @@ class IBLT:
         self.size -= 1
 
     def _apply(self, key: int, value: int, sign: int) -> None:
-        for cell in self.hashes.locations(int(key)):
-            self.count[cell] += sign
-            self.key_sum[cell] += sign * int(key)
-            self.value_sum[cell] += sign * int(value)
+        # int64 arithmetic throughout, so wraparound behaviour is
+        # bit-identical to the vectorized ``np.add.at`` path (the scalar
+        # Python-int formulation raised OverflowError where the batch
+        # path wrapped — e.g. deleting the key -2**63).  The k cells are
+        # distinct by the partition construction, so fancy-index += is
+        # exact.
+        cells = self.hashes.locations(int(key))
+        delta = np.array([key, value], dtype=np.int64) * np.int64(sign)
+        self.count[cells] += np.int64(sign)
+        self.key_sum[cells] += delta[0]
+        self.value_sum[cells] += delta[1]
 
     def insert_batch(self, keys: np.ndarray, values: np.ndarray) -> None:
-        """Vectorized bulk insert (used by benchmarks and the EM layer)."""
+        """Vectorized bulk insert (used by benchmarks and the EM layer).
+
+        Exactly equivalent to inserting the pairs one by one with
+        :meth:`insert` — duplicate keys within a batch accumulate like
+        repeated scalar inserts, and int64 sums wrap identically
+        (hypothesis-pinned in ``tests/test_iblt.py``).  Inputs must be
+        1-D: the scalar loop has no meaning for higher-rank batches, and
+        the hash family would silently mis-broadcast them.
+        """
         keys = np.asarray(keys, dtype=np.int64)
         values = np.asarray(values, dtype=np.int64)
         if keys.shape != values.shape:
             raise ValueError("keys and values must have equal shapes")
+        if keys.ndim != 1:
+            raise ValueError(
+                f"insert_batch needs 1-D key/value arrays, got shape {keys.shape}"
+            )
         locs = self.hashes.locations(keys)  # (n, k)
         for j in range(self.k):
             np.add.at(self.count, locs[:, j], 1)
@@ -127,34 +145,60 @@ class IBLT:
     def list_entries(self, *, destructive: bool = False) -> ListEntriesResult:
         """Recover all stored pairs by peeling (§2 ``listEntries``).
 
+        Synchronous vectorized peeling: each round finds *every* pure
+        cell, validates it (the fake-pure guard of :meth:`_pure`),
+        recovers one pair per distinct key, and batch-deletes them —
+        cascading new pure cells into the next round.  Lemma 1's
+        cascade depth is ``O(log n)`` w.h.p., so the whole peel is a few
+        NumPy passes instead of one Python iteration per cell.  The
+        recovered set matches the sequential formulation (deletions only
+        ever decrement, so a cell pure this round stays peelable until
+        its item is removed); only the output *order* is different, and
+        that was never specified.
+
         By default operates on a copy (the paper's footnote 3 notes the
         destructive variant should back up the table first); pass
         ``destructive=True`` to peel in place.
         """
         table = self if destructive else self._copy()
-        out_keys: list[int] = []
-        out_values: list[int] = []
-        queue = deque(c for c in range(table.m) if table._pure(c))
-        enqueued = set(queue)
-        while queue:
-            cell = queue.popleft()
-            enqueued.discard(cell)
-            if not table._pure(cell):
-                continue  # stale entry: became impure/empty since enqueued
-            key = int(table.key_sum[cell])
-            value = int(table.value_sum[cell])
-            out_keys.append(key)
-            out_values.append(value)
-            table._apply(key, value, -1)
-            table.size -= 1
-            for other in table.hashes.locations(key):
-                if table._pure(other) and other not in enqueued:
-                    queue.append(other)
-                    enqueued.add(other)
+        out_keys: list[np.ndarray] = []
+        out_values: list[np.ndarray] = []
+        while True:
+            pure = np.flatnonzero(table.count == 1)
+            if len(pure) == 0:
+                break
+            keys = table.key_sum[pure]
+            # Fake-pure guard, vectorized: the stored keySum must hash to
+            # the cell it sits in (count 1 by cancellation does not).
+            valid = (table.hashes.locations(keys) == pure[:, None]).any(axis=1)
+            pure, keys = pure[valid], keys[valid]
+            if len(pure) == 0:
+                break
+            # One item may be pure in several of its cells at once —
+            # recover it once (the scalar loop's staleness re-check).
+            keys, first = np.unique(keys, return_index=True)
+            pure = pure[first]
+            values = table.value_sum[pure]
+            out_keys.append(keys)
+            out_values.append(values)
+            locs = table.hashes.locations(keys)
+            for j in range(table.k):
+                np.add.at(table.count, locs[:, j], -1)
+                np.add.at(table.key_sum, locs[:, j], -keys)
+                np.add.at(table.value_sum, locs[:, j], -values)
+            table.size -= len(keys)
         complete = not np.any(table.count) and not np.any(table.key_sum)
         return ListEntriesResult(
-            keys=np.asarray(out_keys, dtype=np.int64),
-            values=np.asarray(out_values, dtype=np.int64),
+            keys=(
+                np.concatenate(out_keys)
+                if out_keys
+                else np.empty(0, dtype=np.int64)
+            ),
+            values=(
+                np.concatenate(out_values)
+                if out_values
+                else np.empty(0, dtype=np.int64)
+            ),
             complete=bool(complete),
         )
 

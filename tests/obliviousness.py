@@ -39,6 +39,10 @@ __all__ = [
     "workload",
     "adversary_fingerprint",
     "assert_adversary_view_invariant",
+    "oram_transcript",
+    "oram_probe_counts",
+    "assert_oram_shape_invariant",
+    "assert_oram_bitwise_invariant",
 ]
 
 #: The fixed session seed every invariance comparison runs under.
@@ -88,6 +92,16 @@ def workload(
         n_blocks, occupied, M = _SPARSE[name]
         B = 4
         return _sparse_layout(n_blocks, occupied, B, rng), {}, {"M": M, "B": B}
+    if name == "oram_read_batch":
+        # Public: record count and request length (with a repeat); private:
+        # every key and value.  The requested *ranks* are public here only
+        # because the workload pins them — the ORAM hides them regardless,
+        # which the ORAM-layer harness below pins directly.
+        keys = rng.choice(10**6, size=_RECORDS_N, replace=False)
+        data = np.stack(
+            [keys, rng.integers(0, 10**6, size=_RECORDS_N)], axis=1
+        ).astype(np.int64)
+        return data, {"indices": [3, 41, 88, 17, 41, 0]}, {"M": 64, "B": 4}
     n = _VALUE_N if spec.output == "value" else _RECORDS_N
     keys = rng.choice(10**6, size=n, replace=False)
     if spec.requires_input_order == "sorted":
@@ -167,3 +181,117 @@ def assert_adversary_view_invariant(
         f"{len(datasets)} same-shape inputs: {views}"
     )
     return next(iter(views))
+
+
+# ---------------------------------------------------------------------------
+# ORAM-layer harness: the adversary view of raw read/write/dummy sequences
+# ---------------------------------------------------------------------------
+#
+# The square-root ORAM's guarantee is the paper's *distributional* one: the
+# store-probe path tracks the searched tag's rank, and tags are a PRF of
+# the logical index under the epoch key, so at a FIXED seed two different
+# index sequences produce different (identically distributed) probe
+# positions — full-transcript bit-equality across index sequences is
+# information-theoretically unavailable for any scheme that probes
+# per-index positions.  What IS bitwise-invariant, and what these helpers
+# pin, is everything else:
+#
+# * the transcript *shape* — the (op, array) event sequence, event count
+#   included — is a fixed function of (n, shelter_factor, schedule
+#   length) across arbitrary index/value/op-kind choices, rebuild epochs
+#   and all (rebuild segments are bit-identical including indices, being
+#   fixed scans and oblivious sorts);
+# * the *full* transcript, indices included, across data values and
+#   read/write/update op kinds at a fixed index schedule — the probe path
+#   never depends on what is stored or which kind of access runs;
+# * the fixed-length ``_binary_search`` probe schedule: every access pays
+#   exactly ``ilog2(n_store) + 2`` store-meta probes and one payload
+#   read, found-early or not.
+#
+# (The distributional half — probe positions across seeds — is pinned by
+# the KS test in ``tests/test_oram.py``.)
+
+
+def oram_transcript(
+    n: int,
+    schedule,
+    *,
+    M: int = 2048,
+    B: int = 4,
+    seed: int = SEED,
+    shelter_factor: int = 1,
+):
+    """Run ``schedule`` against a fresh square-root ORAM.
+
+    ``schedule`` is a sequence of ``("read", i)``, ``("write", i, v)``,
+    ``("update", i)`` or ``("dummy",)`` ops.  Returns ``(machine, oram,
+    events)`` where ``events`` is the post-construction transcript as an
+    ``(k, 3)`` array of (op, array_id, index) rows.
+    """
+    from repro.em.block import NULL_KEY
+    from repro.em.machine import EMMachine
+    from repro.oram import SquareRootORAM
+
+    machine = EMMachine(M=M, B=B)
+    oram = SquareRootORAM(
+        machine,
+        n,
+        np.random.default_rng(seed),
+        shelter_factor=shelter_factor,
+    )
+    start = len(machine.trace)
+    for op in schedule:
+        if op[0] == "read":
+            oram.read(op[1])
+        elif op[0] == "write":
+            blk = np.zeros((B, 2), dtype=np.int64)
+            blk[:, 0] = NULL_KEY
+            blk[0, 0] = op[2]
+            oram.write(op[1], blk)
+        elif op[0] == "update":
+            oram.update(op[1], lambda b: b + 1)
+        elif op[0] == "dummy":
+            oram.dummy_op()
+        else:  # pragma: no cover - harness misuse
+            raise ValueError(f"unknown ORAM op {op[0]!r}")
+    return machine, oram, machine.trace.as_array()[start:]
+
+
+def oram_probe_counts(n: int, accesses: int, **kwargs) -> tuple[int, int]:
+    """(store-meta reads, store-payload reads) per access, measured over
+    ``accesses`` reads inside one epoch (no rebuild in the window)."""
+    machine, oram, events = oram_transcript(
+        n, [("read", t % n) for t in range(accesses)], **kwargs
+    )
+    assert oram.rebuilds == 0, "probe-count window must stay inside an epoch"
+    reads = events[events[:, 0] == 0]
+    meta = int(np.count_nonzero(reads[:, 1] == oram.store_meta.array_id))
+    payload = int(np.count_nonzero(reads[:, 1] == oram.store_payload.array_id))
+    return meta // accesses, payload // accesses
+
+
+def assert_oram_shape_invariant(n: int, schedules, **kwargs) -> None:
+    """All equal-length ``schedules`` must produce the identical
+    (op, array) event sequence — arbitrary indices, values, op kinds."""
+    shapes = set()
+    for schedule in schedules:
+        _, _, events = oram_transcript(n, schedule, **kwargs)
+        shapes.add(events[:, :2].tobytes())
+    assert len(shapes) == 1, (
+        f"ORAM transcript shape leaked the access sequence: {len(shapes)} "
+        f"distinct shapes over {len(schedules)} same-length schedules"
+    )
+
+
+def assert_oram_bitwise_invariant(n: int, schedules, **kwargs) -> None:
+    """All ``schedules`` sharing one index sequence (only values and
+    read/write/update kinds differ) must produce bit-identical
+    transcripts, indices included."""
+    views = set()
+    for schedule in schedules:
+        machine, _, _ = oram_transcript(n, schedule, **kwargs)
+        views.add(machine.trace.fingerprint())
+    assert len(views) == 1, (
+        f"ORAM transcript leaked values or op kinds: {len(views)} distinct "
+        f"views over {len(schedules)} same-index schedules"
+    )

@@ -84,3 +84,68 @@ def test_compare_tolerates_empty_baseline(tmp_path):
     proc = _run(str(old), str(new))
     assert proc.returncode == 0
     assert "nothing to diff" in proc.stdout
+
+
+def test_artifact_in_only_one_run_is_a_note_not_a_crash(tmp_path):
+    """BENCH_oram.json's first CI compare: the artifact exists only on the
+    candidate side — report it, diff the rest, exit 0."""
+    old, new = tmp_path / "old", tmp_path / "new"
+    base = {"total_ios": 1000, "wall_seconds": 1.0, "attempts": 1,
+            "mean_batch_size": 8.0}
+    _write(old, "sort", base)
+    _write(new, "sort", base)
+    _write(new, "oram", {"total_ios": 80000, "wall_seconds": 0.2,
+                         "peel_constant_per_r15": 25000.0})
+    proc = _run(str(old), str(new), "--fail-on-regression")
+    assert proc.returncode == 0, proc.stderr
+    assert "new artifact: oram" in proc.stdout
+    assert "0 regression(s)" in proc.stdout
+
+
+def test_oram_artifact_uses_its_own_metrics_and_exact_peel_constant(tmp_path):
+    old, new = tmp_path / "old", tmp_path / "new"
+    oram = {"total_ios": 80000, "wall_seconds": 0.2,
+            "peel_constant_per_r15": 25000.0}
+    _write(old, "oram", oram)
+    _write(new, "oram", {**oram, "peel_constant_per_r15": 26000.0})
+    proc = _run(str(old), str(new))
+    assert proc.returncode == 0
+    # Deterministic metric: any increase flags, threshold notwithstanding.
+    assert "REGRESSION oram.peel_constant_per_r15" in proc.stdout
+    # attempts/mean_batch_size are not part of the oram artifact's table.
+    assert "oram.attempts" not in proc.stdout
+
+
+def test_metric_in_only_one_run_is_a_note_not_a_crash(tmp_path):
+    old, new = tmp_path / "old", tmp_path / "new"
+    _write(old, "oram", {"total_ios": 80000, "wall_seconds": 0.2})
+    _write(new, "oram", {"total_ios": 80000, "wall_seconds": 0.2,
+                         "peel_constant_per_r15": 25000.0})
+    proc = _run(str(old), str(new), "--fail-on-regression")
+    assert proc.returncode == 0, proc.stderr
+    assert "metric added/removed" in proc.stdout
+
+
+def test_malformed_artifact_is_skipped_with_note(tmp_path):
+    old, new = tmp_path / "old", tmp_path / "new"
+    base = {"total_ios": 10, "wall_seconds": 0.1, "attempts": 1,
+            "mean_batch_size": 4.0}
+    _write(old, "sort", base)
+    _write(new, "sort", base)
+    (new / "BENCH_broken.json").write_text("{not json")
+    (new / "BENCH_alist.json").write_text("[1, 2]")
+    proc = _run(str(old), str(new), "--fail-on-regression")
+    assert proc.returncode == 0, proc.stderr
+    assert "unreadable artifact BENCH_broken.json" in proc.stdout
+    assert "malformed artifact BENCH_alist.json" in proc.stdout
+
+
+def test_non_numeric_metric_is_skipped_with_note(tmp_path):
+    old, new = tmp_path / "old", tmp_path / "new"
+    base = {"total_ios": 10, "wall_seconds": 0.1, "attempts": 1,
+            "mean_batch_size": 4.0}
+    _write(old, "sort", base)
+    _write(new, "sort", {**base, "total_ios": "plenty"})
+    proc = _run(str(old), str(new), "--fail-on-regression")
+    assert proc.returncode == 0, proc.stderr
+    assert "non-numeric values" in proc.stdout

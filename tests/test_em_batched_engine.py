@@ -210,6 +210,32 @@ class TestMeterDeprecation:
                 m.read(a, 0)
         assert meter.reads == 1
 
+    def test_meter_warning_points_at_the_caller(self):
+        """stacklevel must attribute the warning to the deprecated call
+        site, not to em/machine.py — otherwise every report says the
+        library warned about itself and nobody finds their own usage."""
+        import warnings
+
+        m = EMMachine(64, 4)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            m.meter()
+        assert len(caught) == 1
+        assert caught[0].filename == __file__
+
+    def test_metered_does_not_warn(self):
+        """The replacement API must be warning-free, or the deprecation
+        can never be finished."""
+        import warnings
+
+        m = EMMachine(64, 4)
+        a = m.alloc(2, "a")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            with m.metered() as meter:
+                m.read(a, 0)
+        assert meter.reads == 1
+
 
 class TestBatchStatistics:
     def test_cost_report_exposes_batches(self):

@@ -186,3 +186,57 @@ class TestLemma1SuccessRate:
             if not t.list_entries().complete:
                 failures += 1
         assert failures >= 18
+
+
+class TestInsertBatchParity:
+    """insert_batch must be bit-equivalent to the scalar insert loop —
+    duplicate keys, negative keys, and int64 wraparound included."""
+
+    @settings(deadline=None, max_examples=60)
+    @given(
+        pairs=st.lists(
+            st.tuples(
+                st.integers(-(2**63), 2**63 - 1),
+                st.integers(-(2**63), 2**63 - 1),
+            ),
+            max_size=24,
+        ),
+        seed=st.integers(0, 1000),
+    )
+    def test_matches_scalar_inserts(self, pairs, seed):
+        scalar = IBLT(m=24, k=3, seed=seed)
+        batched = IBLT(m=24, k=3, seed=seed)
+        keys = np.array([p[0] for p in pairs], dtype=np.int64)
+        values = np.array([p[1] for p in pairs], dtype=np.int64)
+        for k, v in zip(keys, values):
+            scalar.insert(int(k), int(v))
+        batched.insert_batch(keys, values)
+        assert np.array_equal(scalar.count, batched.count)
+        assert np.array_equal(scalar.key_sum, batched.key_sum)
+        assert np.array_equal(scalar.value_sum, batched.value_sum)
+        assert scalar.size == batched.size
+
+    def test_wraparound_delete_matches_batch_convention(self):
+        """The scalar path once raised OverflowError deleting the key
+        -2**63 (Python-int negation overflows int64); it now wraps the
+        way every vectorized np.add.at does."""
+        t = IBLT(m=24, k=3, seed=5)
+        t.insert(-(2**63), 1)
+        t.delete(-(2**63), 1)  # must not raise
+        assert t.count.sum() == 0
+
+    def test_rejects_non_1d_batches(self):
+        t = IBLT(m=24, k=3, seed=0)
+        with pytest.raises(ValueError, match="1-D"):
+            t.insert_batch(
+                np.zeros((2, 3), dtype=np.int64), np.zeros((2, 3), dtype=np.int64)
+            )
+
+    def test_batch_then_list_roundtrip(self):
+        t = IBLT(m=6 * 20 + 3, k=3, seed=2)
+        keys = np.arange(20, dtype=np.int64) * 17
+        values = keys + 5
+        t.insert_batch(keys, values)
+        res = t.list_entries()
+        assert res.complete
+        assert res.as_dict() == {int(k): int(k) + 5 for k in keys}

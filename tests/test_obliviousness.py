@@ -158,3 +158,103 @@ def test_non_oblivious_baselines_fail_the_invariant(name):
         f"{name!r} unexpectedly produced one adversary view — either it "
         "became oblivious (update its spec) or the harness lost its teeth"
     )
+
+
+# ---------------------------------------------------------------------------
+# ORAM layer: raw read/write/dummy sequences (satellite of the batching PR)
+# ---------------------------------------------------------------------------
+
+from obliviousness import (  # noqa: E402 - grouped with their tests
+    assert_oram_bitwise_invariant,
+    assert_oram_shape_invariant,
+    oram_probe_counts,
+    oram_transcript,
+)
+
+
+@given(variant=st.integers(0, 2**32 - 1))
+@settings(max_examples=8, deadline=None)
+def test_oram_transcript_shape_invariant_across_access_sequences(variant):
+    """The (op, array) event sequence — length included — is a fixed
+    function of (n, seed, schedule length) for ANY mix of reads, writes,
+    updates and dummies at any logical indices, across rebuild epochs."""
+    n = 9
+    length = 3 * n  # crosses several epochs (s = 3)
+    rng = np.random.default_rng(variant)
+    schedules = []
+    for _ in range(2):
+        schedule = []
+        for t in range(length):
+            kind = ("read", "write", "update", "dummy")[int(rng.integers(4))]
+            i = int(rng.integers(n))
+            if kind == "read":
+                schedule.append(("read", i))
+            elif kind == "write":
+                schedule.append(("write", i, int(rng.integers(10**6))))
+            elif kind == "update":
+                schedule.append(("update", i))
+            else:
+                schedule.append(("dummy",))
+        schedules.append(schedule)
+    assert_oram_shape_invariant(n, schedules)
+
+
+def test_oram_shape_invariance_covers_rebuild_epochs():
+    """The shape check is only meaningful if the window really crosses
+    rebuilds — pin that it does, and that rebuild segments are fully
+    fixed (they are scans + oblivious sorts, so shape equality over the
+    whole window implies it)."""
+    n = 9
+    _, oram, _ = oram_transcript(n, [("read", 0)] * (3 * n))
+    assert oram.rebuilds >= 2
+
+
+@given(variant=st.integers(0, 2**32 - 1))
+@settings(max_examples=8, deadline=None)
+def test_oram_transcript_bitwise_invariant_across_values_and_op_kinds(variant):
+    """At a FIXED logical index schedule, the complete transcript —
+    probe positions included — is bit-identical whatever values are
+    written and whether each access is a read, a write, or an update:
+    the probe tag depends only on the index and the epoch key."""
+    n = 8
+    rng = np.random.default_rng(variant)
+    indices = [int(rng.integers(n)) for _ in range(3 * n)]
+    schedules = []
+    for _ in range(2):
+        schedule = []
+        for i in indices:
+            kind = ("read", "write", "update")[int(rng.integers(3))]
+            if kind == "write":
+                schedule.append(("write", i, int(rng.integers(10**6))))
+            elif kind == "update":
+                schedule.append(("update", i))
+            else:
+                schedule.append(("read", i))
+        schedules.append(schedule)
+    assert_oram_bitwise_invariant(n, schedules)
+
+
+@pytest.mark.parametrize("n", [8, 13, 100])
+def test_oram_binary_search_probe_schedule_is_fixed_length(n):
+    """Every access pays exactly ilog2(n_store) + 2 store-meta probes and
+    one payload read, wherever (and however early) the tag is found."""
+    from repro.util.mathx import ilog2
+
+    _, oram, _ = oram_transcript(n, [])
+    want_meta = ilog2(oram.n_store) + 2
+    meta_per_access, payload_per_access = oram_probe_counts(
+        n, accesses=max(1, min(3, oram.s - 1))
+    )
+    assert meta_per_access == want_meta
+    assert payload_per_access == 1
+
+
+def test_oram_shape_invariance_holds_for_stretched_shelters():
+    """The shelter_factor knob (used by the Theorem-4 peel) changes the
+    schedule shape but not its data-independence."""
+    n = 9
+    schedules = [
+        [("read", i % n) for i in range(2 * n)],
+        [("write", (i * 5) % n, i) for i in range(2 * n)],
+    ]
+    assert_oram_shape_invariant(n, schedules, shelter_factor=3)

@@ -230,3 +230,126 @@ class TestORAMOverheadMeasurement:
         small = measure_oram_overhead(n=9, num_accesses=30, seed=1, M=2048)
         large = measure_oram_overhead(n=64, num_accesses=30, seed=1, M=2048)
         assert large.amortized_ios_per_access > small.amortized_ios_per_access
+
+
+class TestUpdateAccess:
+    def test_update_applies_fn_and_returns_old(self):
+        _, oram = fresh_oram(4)
+        oram.write(2, make_block([10], B=4))
+        old = oram.update(2, lambda blk: blk + 1)
+        assert int(old[0, 0]) == 10
+        assert int(oram.read(2)[0, 0]) == 11
+
+    def test_update_on_fresh_cell_sees_empty(self):
+        _, oram = fresh_oram(4)
+        seen = {}
+
+        def fn(blk):
+            seen["empty"] = bool(is_empty(blk).all())
+            out = blk.copy()
+            out[0, 0] = 5
+            out[0, 1] = 50
+            return out
+
+        oram.update(1, fn)
+        assert seen["empty"]
+        assert int(oram.read(1)[0, 1]) == 50
+
+    def test_update_survives_rebuilds(self):
+        _, oram = fresh_oram(5, seed=9)
+        oram.write(3, make_block([0], B=4))
+        for _ in range(3 * 5):  # several epochs of increments
+            oram.update(3, lambda blk: blk + np.int64(1))
+        assert int(oram.read(3)[0, 0]) == 15
+
+    def test_update_transcript_matches_read_and_write(self):
+        """The RMW access is indistinguishable from read/write: identical
+        transcripts for the same index sequence at a fixed seed."""
+
+        def run(kind):
+            mach = EMMachine(M=2048, B=4)
+            oram = SquareRootORAM(mach, 8, make_rng(21))
+            for i in [3, 1, 4, 1, 5]:
+                if kind == "read":
+                    oram.read(i)
+                elif kind == "write":
+                    oram.write(i, make_block([i], B=4))
+                else:
+                    oram.update(i, lambda blk: blk + 1)
+            return mach.trace.fingerprint()
+
+        assert run("read") == run("write") == run("update")
+
+
+class TestShelterFactor:
+    def test_validation(self):
+        mach = EMMachine(M=2048, B=4)
+        with pytest.raises(ValueError):
+            SquareRootORAM(mach, 4, make_rng(0), shelter_factor=0)
+
+    def test_scales_shelter_and_epoch(self):
+        mach = EMMachine(M=2048, B=4)
+        base = SquareRootORAM(mach, 9, make_rng(1))
+        wide = SquareRootORAM(mach, 9, make_rng(1), shelter_factor=3)
+        assert wide.s == 3 * base.s
+        assert wide.n_store == 9 + wide.s
+
+    def test_longer_epochs_mean_fewer_rebuilds(self):
+        def rebuilds(factor):
+            mach = EMMachine(M=2048, B=4, trace=False)
+            oram = SquareRootORAM(mach, 9, make_rng(2), shelter_factor=factor)
+            for t in range(18):
+                oram.write(t % 9, make_block([t], B=4))
+            for i in range(9):
+                assert int(oram.read(i)[0, 0]) == 9 + i  # freshest value
+            return oram.rebuilds
+
+        assert rebuilds(3) < rebuilds(1)
+
+
+#: Fingerprints of complete ORAM workloads (construction from an initial
+#: array, 3n mixed read/write/dummy accesses across several epochs, then
+#: extract_to), captured on the *scalar* loop formulation before the
+#: batched rewrite.  The fused-stream engine must reproduce them byte for
+#: byte — this is the ORAM layer's analogue of the algorithm-level golden
+#: fingerprints in test_em_batched_engine.py.
+ORAM_GOLDEN = {
+    (8, 2048, 4, 11): (
+        5761,
+        "bb0712582688af11cb263bc7a3ac815509378d6d0842df5b51999c188a164ec7",
+    ),
+    (13, 64, 4, 5): (
+        28793,
+        "6bcee1252f32a17fca44d2cedcaba507df9300eb9e7ef8439636110e3a1d94c8",
+    ),
+    (4, 64, 2, 3): (
+        3746,
+        "d50de9711c473dfa4bc0d3bf59aa30b53819945433ec34a4b51e8c4baa2873de",
+    ),
+}
+
+
+class TestORAMGoldenFingerprints:
+    @pytest.mark.parametrize("shape", sorted(ORAM_GOLDEN))
+    def test_batched_loops_reproduce_scalar_trace(self, shape):
+        n, M, B, seed = shape
+        mach = EMMachine(M=M, B=B)
+        init = mach.alloc(n)
+        for j in range(n):
+            init.raw[j] = make_block([j * 7 + 1], B=B)
+        oram = SquareRootORAM(mach, n, make_rng(seed), initial=init)
+        rng = np.random.default_rng(seed + 1)
+        for t in range(3 * n):
+            op = t % 3
+            i = int(rng.integers(0, n))
+            if op == 0:
+                oram.read(i)
+            elif op == 1:
+                oram.write(i, make_block([t], B=B))
+            else:
+                oram.dummy_op()
+        out = mach.alloc(n)
+        oram.extract_to(out)
+        want_ios, want_fp = ORAM_GOLDEN[shape]
+        assert mach.total_ios == want_ios
+        assert mach.trace.fingerprint() == want_fp
