@@ -34,11 +34,25 @@ PIPELINE_METRICS = (
     "optimized_wall_seconds",
 )
 ORAM_METRICS = ("total_ios", "wall_seconds", "peel_constant_per_r15")
+SERVICE_METRICS = (
+    "streamed_total_ios",
+    "one_shot_total_ios",
+    "streamed_peak_upload_records",
+    "streamed_round_trips",
+    "streamed_wall_seconds",
+    "batch_shared_rounds",
+    "batch_reduction",
+    "batch_wall_seconds",
+)
 #: Artifacts with their own metric tables; everything else uses METRICS.
 #: A metric missing on either side (schema drift between PRs, or a brand
 #: new artifact like BENCH_oram.json on its first compare) is reported as
 #: a note, never an error.
-ARTIFACT_METRICS = {"pipeline": PIPELINE_METRICS, "oram": ORAM_METRICS}
+ARTIFACT_METRICS = {
+    "pipeline": PIPELINE_METRICS,
+    "oram": ORAM_METRICS,
+    "service": SERVICE_METRICS,
+}
 #: Deterministic metrics: any worsening is flagged regardless of threshold.
 EXACT = {
     "total_ios",
@@ -46,9 +60,14 @@ EXACT = {
     "pipeline_round_trips",
     "attempts",
     "peel_constant_per_r15",
+    "streamed_total_ios",
+    "one_shot_total_ios",
+    "streamed_peak_upload_records",
+    "streamed_round_trips",
+    "batch_shared_rounds",
 }
 #: Metrics where a *larger* value is the good direction (batch quality).
-HIGHER_IS_BETTER = {"mean_batch_size"}
+HIGHER_IS_BETTER = {"mean_batch_size", "batch_reduction"}
 
 
 def load_dir(path: Path, notes: list[str] | None = None) -> dict[str, dict]:

@@ -258,11 +258,22 @@ def main(argv: list[str] | None = None) -> int:
             failures += 1
     failures += run_pipeline_comparison(n, config, args.seed, json_dir)
     failures += run_oram_benchmark(args.smoke, args.seed, json_dir)
+    failures += run_service_comparison(args.smoke, config, args.seed, json_dir)
     if failures:
         print(f"\n{failures} algorithm(s) failed")
         return 1
     print("\nall registered algorithms ran clean through the facade")
     return 0
+
+
+def run_service_comparison(smoke: bool, config, seed: int, json_dir) -> int:
+    """Measure streamed vs one-shot upload and cross-session batching
+    (``BENCH_service.json`` when ``--json`` is active) — the service
+    layer's two serving claims, tracked across PRs like the pipeline's
+    round-trip savings."""
+    from bench_service import run_service_benchmark
+
+    return run_service_benchmark(smoke, config, seed, json_dir)
 
 
 def run_oram_benchmark(smoke: bool, seed: int, json_dir) -> int:

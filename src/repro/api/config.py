@@ -78,11 +78,21 @@ class EMConfig:
         """Instantiate this config's storage backend."""
         return BACKENDS[self.backend](self)
 
-    def make_machine(self, backend: StorageBackend | None = None) -> EMMachine:
-        """Build the machine (with ``backend``, or a fresh one)."""
+    def make_machine(
+        self,
+        backend: StorageBackend | None = None,
+        *,
+        owns_backend: bool = True,
+    ) -> EMMachine:
+        """Build the machine (with ``backend``, or a fresh one).
+
+        ``owns_backend=False`` leaves backend teardown to the caller —
+        the service layer's shared-storage arrangement.
+        """
         return EMMachine(
             self.M,
             self.B,
             trace=self.trace,
             backend=backend if backend is not None else self.make_backend(),
+            owns_backend=owns_backend,
         )

@@ -38,13 +38,31 @@ step by step:
   get the identical treatment — their spec declares whether they are
   randomized.
 * **Consumer-counted lifetime.**  Every intermediate is freed as soon
-  as its last consumer has run; a plan that fails leaves the machine's
-  array set exactly as it found it.
+  as its last consumer has run; a plan that fails — or is abandoned
+  mid-run — leaves the machine's array set exactly as it found it.
+
+:meth:`Executor.stepwise` exposes the same execution as a generator
+that pauses after every completed step; the service layer's
+cross-session batcher interleaves several of them.  Cleanup lives in
+the generator's ``finally`` path, so it runs for Las Vegas exhaustion,
+plain bugs, *and* abandonment (``close()`` on a half-driven generator)
+— the historical except-only sweep missed that last case and leaked
+consumer-counted handles (and memmap temp files) when a concurrent
+driver dropped a failed plan.
+
+Streamed sources (:class:`repro.service.streaming.StreamSource`) are
+ingested at first-consumer staging time: one
+:meth:`~repro.em.machine.EMMachine.begin_chunked_load` (emitting the
+identical ``ALLOC`` a one-shot upload of the public total would) and
+one untraced :meth:`~repro.em.machine.EMMachine.load_chunk` round trip
+per scheduled chunk — so a streamed plan's full transcript is
+byte-identical to its one-shot twin while the client never holds more
+than one chunk.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Iterator
 
 from repro.api.optimizer import (
     OptimizedPlan,
@@ -85,6 +103,31 @@ class Executor:
         propagates, so the machine's array set returns to its pre-plan
         state.
         """
+        gen = self.stepwise(plan, optimize)
+        while True:
+            try:
+                next(gen)
+            except StopIteration as stop:
+                return stop.value
+
+    def stepwise(
+        self, plan: "Plan", optimize: bool | str | None = None
+    ) -> Iterator[StepResult]:
+        """Generator form of :meth:`execute`: pauses after each completed
+        step (yielding its :class:`~repro.api.result.StepResult`) and
+        returns the final :class:`~repro.api.result.PlanResult` as the
+        generator's value.
+
+        The service's cross-session batcher drives several of these
+        round-robin.  Cleanup is a ``finally`` obligation of the
+        generator itself: whether the plan finishes, raises
+        (:class:`~repro.errors.RetryExhausted` included), or is
+        *abandoned* — ``close()`` before exhaustion, which injects
+        ``GeneratorExit`` at the paused yield — every array the plan
+        allocated is freed (releasing memmap temp files with it) and the
+        session's call counter lands where a completed run would have
+        left it, so subsequent calls derive unchanged randomness.
+        """
         session = self.session
         if session._closed:
             raise RuntimeError("session is closed")
@@ -99,12 +142,15 @@ class Executor:
         pre_plan = set(machine._arrays)
         loads_before = machine.client_loads
         extracts_before = machine.client_extracts
+        base_calls = session._calls
+        steps: list[StepResult] | None = None
         try:
-            steps = self._execute_schedule(plan, sched)
-        except BaseException:
-            for array_id in set(machine._arrays) - pre_plan:
-                machine.free(machine._arrays[array_id])
-            raise
+            steps = yield from self._schedule_steps(plan, sched, base_calls)
+        finally:
+            session._calls = base_calls + sched.total_slots
+            if steps is None:
+                for array_id in set(machine._arrays) - pre_plan:
+                    machine.free(machine._arrays[array_id])
         total = CostReport(
             reads=sum(s.cost.reads for s in steps),
             writes=sum(s.cost.writes for s in steps),
@@ -122,18 +168,19 @@ class Executor:
 
     # -- internals ---------------------------------------------------------
 
-    def _execute_schedule(
-        self, plan: "Plan", sched: OptimizedPlan
-    ) -> list[StepResult]:
+    def _schedule_steps(
+        self, plan: "Plan", sched: OptimizedPlan, base_calls: int
+    ) -> Iterator[StepResult]:
         session = self.session
         machine = session.machine
-        base_calls = session._calls
         # Producer node id → its packed output, waiting for consumers.
         # Each consumer's input array is staged lazily, right before its
         # step runs, so only one staged copy is resident at a time even
         # under DAG fan-out; the payload is dropped after the last
         # consumer has been staged.  ``client`` marks a payload whose
-        # first staging is the plan's client→server upload.
+        # first staging is the plan's client→server upload; ``stream``
+        # marks a chunk-scheduled upload whose n is the padded public
+        # total.
         pending: dict[int, dict] = {}
         for node in plan.nodes:
             if not node.is_source:
@@ -141,7 +188,15 @@ class Executor:
             remaining = sched.consumers.get(id(node), 0)
             if not remaining:
                 continue
-            if node.resident is not None:
+            if node.stream is not None:
+                pending[id(node)] = {
+                    "records": None,  # materialized lazily on fan-out
+                    "n": node.stream.n_items,
+                    "client": True,
+                    "stream": node.stream,
+                    "remaining": remaining,
+                }
+            elif node.resident is not None:
                 # Server-local snapshot, layout (NULL rows) preserved;
                 # the caller's array stays untouched.
                 layout = node.resident.flat()
@@ -164,15 +219,44 @@ class Executor:
             call_index = base_calls + step.slot
             session._calls = base_calls + step.slot_end + 1
             source = pending[step.input_id]
-            if source["client"]:
-                A = machine.load_records(
-                    source["records"], f"{spec.name}{call_index}"
+            stream = source.get("stream")
+            if stream is not None and not spec.null_tolerant:
+                # Defensive twin of the Dataset.apply gate, for plans
+                # (or optimizer schedules) built around it.
+                raise TypeError(
+                    f"{spec.name!r} is not null-tolerant and cannot "
+                    "consume a streamed source (its n_items is the "
+                    "padded public total)"
                 )
+            if source["client"]:
+                if stream is not None:
+                    # The chunked upload: one ALLOC of the public total
+                    # (identical to a one-shot load_records of the
+                    # padded records), then one untraced client round
+                    # trip per scheduled chunk.
+                    A = machine.begin_chunked_load(
+                        stream.n_items, f"{spec.name}{call_index}"
+                    )
+                    for offset, chunk in stream.padded_chunks():
+                        machine.load_chunk(A, offset, chunk)
+                else:
+                    A = machine.load_records(
+                        source["records"], f"{spec.name}{call_index}"
+                    )
                 source["client"] = False  # later consumers stage server-side
             else:
                 A = machine.stage_records(
                     source["records"], f"{spec.name}{call_index}"
                 )
+            if (
+                stream is not None
+                and source["remaining"] > 1
+                and source["records"] is None
+            ):
+                # Fan-out from a stream source: later consumers re-stage
+                # the padded layout server-side, exactly like a client
+                # source's later consumers.
+                source["records"] = stream.materialize()
             n_items = source["n"]
             source["remaining"] -= 1
             if source["remaining"] == 0:
@@ -231,19 +315,18 @@ class Executor:
                 if out.array is not None and out.array is not A:
                     machine.free(out.array)
                 machine.free(A)
-            steps.append(
-                StepResult(
-                    step=len(steps),
-                    algorithm=spec.name,
-                    n_items=n_items,
-                    cost=cost,
-                    value=out.value,
-                    records=records,
-                    params=dict(step.params, n=n_items, seed=session.seed),
-                    note=step.note,
-                )
+            result = StepResult(
+                step=len(steps),
+                algorithm=spec.name,
+                n_items=n_items,
+                cost=cost,
+                value=out.value,
+                records=records,
+                params=dict(step.params, n=n_items, seed=session.seed),
+                note=step.note,
             )
-        session._calls = base_calls + sched.total_slots
+            steps.append(result)
+            yield result
         return steps
 
     def _run_step(

@@ -271,7 +271,11 @@ def _build(
     for node in nodes:
         if node.is_source:
             n_of[id(node)] = node.n_items
-            if node.records is not None:
+            if node.stream is not None:
+                # Streamed source: the server array is provisioned for
+                # the public schedule total (n_items *is* that total).
+                layout_of[id(node)] = ceil_div(max(1, node.n_items), B)
+            elif node.records is not None:
                 layout_of[id(node)] = ceil_div(max(1, len(node.records)), B)
             else:
                 layout_of[id(node)] = max(1, node.resident.num_blocks)

@@ -44,8 +44,17 @@ from repro.em.storage import EMArray
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.api.result import PlanResult
     from repro.api.session import ObliviousSession
+    from repro.service.streaming import StreamSource
 
-__all__ = ["PlanNode", "Dataset", "Plan", "StepEstimate", "PlanExplain"]
+__all__ = [
+    "PlanNode",
+    "Dataset",
+    "Plan",
+    "StepEstimate",
+    "PlanExplain",
+    "make_source",
+    "make_stream_source",
+]
 
 #: Global construction counter — gives every node a sequence number, so a
 #: plan's topological order is simply "sort by seq" (parents are always
@@ -58,9 +67,9 @@ class PlanNode:
     """One immutable node of a plan DAG.
 
     ``op`` names a registered algorithm, or is ``None`` for source nodes
-    (which carry either client ``records`` or a machine-``resident``
-    array instead).  Nodes compare by identity; sharing a node between
-    two chains expresses a DAG with fan-out.
+    (which carry client ``records``, a machine-``resident`` array, or a
+    chunked ``stream`` instead).  Nodes compare by identity; sharing a
+    node between two chains expresses a DAG with fan-out.
     """
 
     op: str | None
@@ -68,6 +77,7 @@ class PlanNode:
     inputs: tuple["PlanNode", ...] = ()
     records: np.ndarray | None = None
     resident: EMArray | None = None
+    stream: "StreamSource | None" = None
     n_items: int = 0
     seq: int = field(default_factory=lambda: next(_NODE_SEQ))
 
@@ -91,7 +101,12 @@ class PlanNode:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         if self.is_source:
-            kind = "resident" if self.resident is not None else "client"
+            if self.stream is not None:
+                kind = "stream"
+            elif self.resident is not None:
+                kind = "resident"
+            else:
+                kind = "client"
             return f"PlanNode(source[{kind}], n={self.n_items})"
         return f"PlanNode({self.op}, params={dict(self.params)})"
 
@@ -126,12 +141,48 @@ class Dataset:
                 f"cannot chain {algorithm!r} after value-producing "
                 f"{parent.op!r} — value steps are terminal"
             )
+        if (
+            parent.is_source
+            and parent.stream is not None
+            and not spec.null_tolerant
+        ):
+            # A stream's staged layout carries NULL padding up to the
+            # public schedule total; rank-semantics algorithms would
+            # count the padding.  Interpose a null-tolerant step (e.g.
+            # ``.compact()`` or ``.sort()``) first.
+            raise TypeError(
+                f"{algorithm!r} is not null-tolerant and cannot consume a "
+                "streamed source directly — its n_items is the padded "
+                "public total; chain a null-tolerant step "
+                "(sort/compact/shuffle/mask) in between"
+            )
         node = PlanNode(
             op=spec.name,
             params=dict(params),
             inputs=(parent,),
         )
         return Dataset(self._session, node)
+
+    @classmethod
+    def from_chunks(
+        cls,
+        session: "ObliviousSession",
+        chunks,
+        *,
+        chunk_records: int | None = None,
+        num_chunks: int | None = None,
+    ) -> "Dataset":
+        """A streamed source: records arriving as a public chunk schedule.
+
+        Equivalent to :meth:`repro.api.ObliviousSession.stream`; see
+        :class:`repro.service.streaming.StreamSource` for the padding
+        and obliviousness contract."""
+        return make_stream_source(
+            session,
+            chunks,
+            chunk_records=chunk_records,
+            num_chunks=num_chunks,
+        )
 
     def sort(self, **params: Any) -> "Dataset":
         """Oblivious sort (Theorem 21)."""
@@ -406,4 +457,38 @@ def make_source(session: "ObliviousSession", data: Any) -> Dataset:
     else:
         records = _as_records(data)
         node = PlanNode(op=None, records=records, n_items=occupancy(records))
+    return Dataset(session, node)
+
+
+def make_stream_source(
+    session: "ObliviousSession",
+    chunks,
+    *,
+    chunk_records: int | None = None,
+    num_chunks: int | None = None,
+) -> Dataset:
+    """Build a streamed source :class:`Dataset` from mini-batch chunks.
+
+    ``chunks`` is a sequence of chunk arrays (each 1-D keys or ``(k, 2)``
+    records) or an existing
+    :class:`~repro.service.streaming.StreamSource`.  The node's
+    ``n_items`` is the *public* schedule total (``num_chunks ×
+    chunk_records``) — short chunks are padded, never revealed — so only
+    null-tolerant algorithms may consume the source directly
+    (:meth:`Dataset.apply` enforces this eagerly).
+    """
+    from repro.service.streaming import StreamSource
+
+    if isinstance(chunks, StreamSource):
+        if chunk_records is not None or num_chunks is not None:
+            raise ValueError(
+                "pass schedule overrides to StreamSource itself, not to "
+                "an already-built stream"
+            )
+        stream = chunks
+    else:
+        stream = StreamSource(
+            chunks, chunk_records=chunk_records, num_chunks=num_chunks
+        )
+    node = PlanNode(op=None, stream=stream, n_items=stream.n_items)
     return Dataset(session, node)

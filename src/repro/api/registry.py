@@ -164,6 +164,17 @@ class AlgorithmSpec:
         multiset otherwise) with different cost profiles.  The optimizer
         substitutes the cheapest *legal* variant by estimated I/O at the
         step's actual ``(n, M, B)``.
+    ``null_tolerant``
+        The runner is correct on layouts containing interior ``NULL``
+        padding with ``n_items`` set to the *padded* total: NULL records
+        pass through harmlessly (sorting first, compacting away, being
+        shuffled or scanned as empties) and the non-NULL output is
+        exactly the run over the real records alone.  Streamed sources
+        (:meth:`repro.api.ObliviousSession.stream`) pad short chunks to
+        the public chunk size to hide data-dependent arrival sizes, so
+        only null-tolerant algorithms may consume a stream directly.
+        Rank-semantics algorithms (selection, quantiles, ORAM reads)
+        would count the padding and must declare ``False``.
     """
 
     name: str
@@ -182,6 +193,7 @@ class AlgorithmSpec:
     scan_params: tuple[str, ...] = ()
     requires_input_order: str | None = None
     variants: tuple[str, ...] = ()
+    null_tolerant: bool = False
     #: Optional output-size rule ``(n_items, params) -> int``; when absent
     #: the default is "record count preserved" (or 0 for value outputs).
     out_items: Callable[[int, dict], int] | None = None
@@ -557,6 +569,7 @@ register(AlgorithmSpec(
     permutation_invariant=True,
     permutation_only=True,
     variants=("sort", "bitonic_sort"),
+    null_tolerant=True,
 ))
 register(AlgorithmSpec(
     "merge_sort",
@@ -567,6 +580,7 @@ register(AlgorithmSpec(
     output_order="sorted",
     permutation_invariant=True,
     permutation_only=True,
+    null_tolerant=True,
 ))
 register(AlgorithmSpec(
     "bitonic_sort",
@@ -577,6 +591,7 @@ register(AlgorithmSpec(
     permutation_invariant=True,
     permutation_only=True,
     variants=("bitonic_sort", "sort"),
+    null_tolerant=True,
 ))
 register(AlgorithmSpec(
     "compact",
@@ -585,6 +600,7 @@ register(AlgorithmSpec(
     cost_model="compact",
     output_order="same",
     variants=("compact", "compact_sparse", "compact_loose", "compact_logstar"),
+    null_tolerant=True,
 ))
 register(AlgorithmSpec(
     "compact_sparse",
@@ -594,6 +610,7 @@ register(AlgorithmSpec(
     cost_model="compact_sparse",
     output_order="same",
     variants=("compact_sparse", "compact"),
+    null_tolerant=True,
 ))
 register(AlgorithmSpec(
     "compact_loose",
@@ -602,6 +619,7 @@ register(AlgorithmSpec(
     randomized=True,
     cost_model="compact_loose",
     output_order=None,
+    null_tolerant=True,
 ))
 register(AlgorithmSpec(
     "compact_logstar",
@@ -615,6 +633,7 @@ register(AlgorithmSpec(
     # record multiset is identical and, at genuinely sparse shapes, the
     # recalibrated Theorem-4 path now often prices below the phases.
     variants=("compact_logstar", "compact", "compact_sparse"),
+    null_tolerant=True,
 ))
 register(AlgorithmSpec(
     "select",
@@ -670,6 +689,7 @@ register(AlgorithmSpec(
     cost_model="shuffle",
     output_order="random",
     permutation_only=True,
+    null_tolerant=True,
 ))
 register(AlgorithmSpec(
     "oram_read_batch",
@@ -688,6 +708,7 @@ register(AlgorithmSpec(
     fusible_scan=True,
     scan_kernel=_mask_kernel,
     scan_params=("lo", "hi"),
+    null_tolerant=True,
 ))
 register(AlgorithmSpec(
     "scale_values",
@@ -698,4 +719,5 @@ register(AlgorithmSpec(
     fusible_scan=True,
     scan_kernel=_scale_values_kernel,
     scan_params=("mul", "add"),
+    null_tolerant=True,
 ))

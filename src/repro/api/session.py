@@ -95,6 +95,7 @@ class ObliviousSession:
         seed: int = 0,
         retry: RetryPolicy | None = None,
         optimize: bool | str = False,
+        machine=None,
         **overrides: Any,
     ) -> None:
         config = config if config is not None else EMConfig()
@@ -106,7 +107,10 @@ class ObliviousSession:
         self.retry = retry if retry is not None else RetryPolicy()
         self.optimize = validate_optimize(optimize)
         self.seed = int(seed)
-        self.machine = config.make_machine()
+        # ``machine`` injects a pre-built EMMachine (the service layer's
+        # shared-backend machines, built with owns_backend=False so
+        # session close() frees arrays but leaves neighbours' storage).
+        self.machine = machine if machine is not None else config.make_machine()
         self._calls = 0
         self._closed = False
         self._cum_steps = 0
@@ -144,6 +148,43 @@ class ObliviousSession:
     def pipeline(self, data) -> "Dataset":
         """Alias of :meth:`dataset`."""
         return self.dataset(data)
+
+    def stream(
+        self,
+        chunks,
+        *,
+        chunk_records: int | None = None,
+        num_chunks: int | None = None,
+    ) -> "Dataset":
+        """A lazy handle over records arriving as mini-batch chunks.
+
+        ``chunks`` is a sequence of chunk arrays (each 1-D keys or an
+        ``(k, 2)`` record array) or a pre-built
+        :class:`~repro.service.streaming.StreamSource`.  The *schedule*
+        — chunk count × chunk size — is public; short chunks are padded
+        with ``NULL`` rows so data-dependent arrival sizes never reach
+        the server.  The executor provisions the server array once (the
+        same ``ALLOC`` a one-shot upload of the public total would
+        emit) and uploads one chunk per client round trip, so peak
+        client residency is one chunk instead of the whole dataset::
+
+            ds = session.stream([chunk0, chunk1, chunk2])
+            result = ds.sort().run()   # byte-identical trace to one-shot
+
+        Only null-tolerant algorithms (sort, compact, shuffle, mask, …)
+        may consume the stream directly — its staged ``n_items`` is the
+        padded public total.
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        from repro.api.plan import make_stream_source
+
+        return make_stream_source(
+            self,
+            chunks,
+            chunk_records=chunk_records,
+            num_chunks=num_chunks,
+        )
 
     def plan(self, *targets) -> "Plan":
         """Freeze several :class:`~repro.api.plan.Dataset` targets into

@@ -116,6 +116,11 @@ class EMMachine:
         Storage backend providing the server-side buffers (default:
         :class:`repro.em.storage.MemoryBackend`).  Backends change where
         the bytes live, never the I/O counts or the trace.
+    owns_backend:
+        Whether :meth:`close` closes the backend (default True).  The
+        service layer shares one backend across many machines and passes
+        ``False`` so a session teardown frees its own arrays without
+        destroying its neighbours' storage.
     """
 
     def __init__(
@@ -125,6 +130,7 @@ class EMMachine:
         *,
         trace: bool = True,
         backend: StorageBackend | None = None,
+        owns_backend: bool = True,
     ) -> None:
         if B < 1:
             raise ValueError(f"block size B must be >= 1, got {B}")
@@ -136,10 +142,21 @@ class EMMachine:
         self.trace = AccessTrace()
         self.trace.enabled = trace
         self.backend = backend if backend is not None else MemoryBackend()
+        self.owns_backend = owns_backend
+        #: Optional ``fn(rounds, streams)`` called once per I/O entry
+        #: point with the round-robin shape of the batch (``rounds``
+        #: iterations of ``streams`` parallel streams).  The service's
+        #: cross-session batcher listens here; the hook observes only
+        #: batch *shapes* — public schedule information — never data.
+        self.io_observer = None
         self.reads = 0
         self.writes = 0
         self.batch_count = 0
         self.batched_io_count = 0
+        #: Largest single client→server upload, in records — the peak
+        #: client-side residency a plan demanded.  Streamed sources keep
+        #: this at one chunk where a one-shot upload pays the full ``n``.
+        self.peak_upload_records = 0
         #: Client↔server round trips: bulk uploads of problem instances
         #: (:meth:`load_records`) and bulk downloads of final outputs
         #: (:meth:`extract_records`).  Server-local handoffs
@@ -162,6 +179,11 @@ class EMMachine:
     def total_ios(self) -> int:
         """Total I/Os performed since construction."""
         return self.reads + self.writes
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes of server storage held by this machine's live arrays."""
+        return sum(arr._data.nbytes for arr in self._arrays.values())
 
     # -- allocation --------------------------------------------------------
 
@@ -215,7 +237,52 @@ class EMMachine:
         arr = self.alloc_cells(max(1, len(records)), name)
         arr.load_flat(records)
         self.client_loads += 1
+        self.peak_upload_records = max(self.peak_upload_records, len(records))
         return arr
+
+    def begin_chunked_load(self, total_records: int, name: str = "") -> EMArray:
+        """Provision the server array for a chunked upload.
+
+        Emits exactly the ``ALLOC`` event :meth:`load_records` would for
+        ``total_records`` records — the adversary sees the same public
+        total either way — but moves no data yet: chunks arrive via
+        :meth:`load_chunk`.  The fresh array's cells are all empty
+        (``NULL_KEY``), matching a one-shot upload padded to the total.
+        """
+        if total_records < 0:
+            raise ValueError(
+                f"total_records must be non-negative, got {total_records}"
+            )
+        return self.alloc_cells(max(1, total_records), name)
+
+    def load_chunk(
+        self, arr: EMArray, offset_records: int, records: np.ndarray
+    ) -> None:
+        """Upload one mini-batch into cells ``[offset, offset+len)`` of a
+        :meth:`begin_chunked_load` array (one client→server round trip).
+
+        Like :meth:`load_records` this is a setup affordance outside the
+        block-I/O model: nothing is traced (the ``ALLOC`` already pinned
+        the public total, and the chunk *schedule* is public via
+        :attr:`client_loads`), but each chunk pays one round trip and
+        only ``len(records)`` records ever sit client-side.
+        """
+        self._own(arr)
+        records = np.asarray(records, dtype=np.int64)
+        if records.ndim != 2 or records.shape[1] != RECORD_WIDTH:
+            raise ValueError(
+                f"records must have shape (n, 2), got {records.shape}"
+            )
+        end = offset_records + len(records)
+        if offset_records < 0 or end > arr.num_cells:
+            raise ValueError(
+                f"chunk cells [{offset_records}, {end}) out of range for "
+                f"array '{arr.name}' of {arr.num_cells} cells"
+            )
+        flat = arr._data.reshape(-1, RECORD_WIDTH)
+        flat[offset_records:end] = records
+        self.client_loads += 1
+        self.peak_upload_records = max(self.peak_upload_records, len(records))
 
     def extract_records(self, arr: EMArray) -> np.ndarray:
         """Download the non-empty records of ``arr`` to the client (one
@@ -253,6 +320,7 @@ class EMMachine:
         self._own(arr)
         block = arr._read(index)
         self.reads += 1
+        self._notify_io(1, 1)
         self.trace.record(Op.READ, arr.array_id, index)
         return block
 
@@ -266,6 +334,7 @@ class EMMachine:
         self._own(arr)
         arr._write(index, np.asarray(block, dtype=np.int64))
         self.writes += 1
+        self._notify_io(1, 1)
         self.trace.record(Op.WRITE, arr.array_id, index)
 
     # -- batched block I/O -------------------------------------------------
@@ -295,6 +364,7 @@ class EMMachine:
             k = len(idx)
         self.reads += k
         self._count_batch(k)
+        self._notify_io(k, 1)
         if self.trace.enabled and k:
             rows = np.empty((k, 3), dtype=np.int64)
             rows[:, 0] = _OP_READ
@@ -322,6 +392,7 @@ class EMMachine:
             k = len(idx)
         self.writes += k
         self._count_batch(k)
+        self._notify_io(k, 1)
         if self.trace.enabled and k:
             rows = np.empty((k, 3), dtype=np.int64)
             rows[:, 0] = _OP_WRITE
@@ -366,6 +437,7 @@ class EMMachine:
         self.reads += k
         self.writes += k
         self._count_batch(2 * k)
+        self._notify_io(k, 2)
         if self.trace.enabled and k:
             rows = np.empty((2 * k, 3), dtype=np.int64)
             rows[0::2, 0] = _OP_READ
@@ -423,6 +495,7 @@ class EMMachine:
         self.reads += 2 * k
         self.writes += 2 * k
         self._count_batch(4 * k)
+        self._notify_io(k, 4)
         if self.trace.enabled:
             ops = np.empty(4 * k, dtype=np.int64)
             ops[0::4] = int(Op.READ)
@@ -526,6 +599,7 @@ class EMMachine:
         self.reads += n_reads
         self.writes += n_writes
         self._count_batch(k * len(parsed))
+        self._notify_io(k, len(parsed))
         if self.trace.enabled:
             t = len(parsed)
             rows = np.empty((k, t, 3), dtype=np.int64)
@@ -582,6 +656,7 @@ class EMMachine:
         self.batched_io_count = 0
         self.client_loads = 0
         self.client_extracts = 0
+        self.peak_upload_records = 0
 
     @contextmanager
     def metered(self) -> Iterator[IOMeter]:
@@ -615,10 +690,12 @@ class EMMachine:
     # -- teardown ------------------------------------------------------------
 
     def close(self) -> None:
-        """Release every server array and close the storage backend."""
+        """Release every server array, then close the storage backend if
+        this machine owns it (shared service backends stay open)."""
         for arr in list(self._arrays.values()):
             self.free(arr)
-        self.backend.close()
+        if self.owns_backend:
+            self.backend.close()
 
     # -- internals -------------------------------------------------------------
 
@@ -633,6 +710,10 @@ class EMMachine:
         if ios > 0:
             self.batch_count += 1
             self.batched_io_count += ios
+
+    def _notify_io(self, rounds: int, streams: int) -> None:
+        if self.io_observer is not None and rounds > 0:
+            self.io_observer(rounds, streams)
 
     def _own(self, arr: EMArray) -> None:
         if self._arrays.get(arr.array_id) is not arr:

@@ -36,15 +36,19 @@ __all__ = ["EMArray", "StorageBackend", "MemoryBackend", "MemmapBackend"]
 class StorageBackend:
     """Protocol for server-side block storage.
 
-    Subclasses implement :meth:`allocate`; :meth:`release` and
+    Subclasses implement :meth:`_allocate`; :meth:`_release` and
     :meth:`close` are no-ops unless the backend owns external resources.
-    ``allocate`` must return a *zero-filled* int64 ndarray (or ndarray
-    subclass) of the requested shape.
+    ``_allocate`` must return a *zero-filled* int64 ndarray (or ndarray
+    subclass) of the requested shape.  The public :meth:`allocate` /
+    :meth:`release` pair is a template method that additionally keeps
+    the :attr:`live_bytes` ledger, which the service layer
+    (:mod:`repro.service`) uses for admission control and which leak
+    regression tests compare against a baseline.
 
     :meth:`gather` and :meth:`scatter` are the two bulk-I/O hooks the
     batched engine (:class:`repro.em.machine.EMMachine`) drives; the
     default numpy fancy-indexing implementations work for any backend
-    whose ``allocate`` returns an ndarray (plain RAM and ``memmap``
+    whose ``_allocate`` returns an ndarray (plain RAM and ``memmap``
     alike), so Memory and Memmap share one code path.
     """
 
@@ -52,8 +56,32 @@ class StorageBackend:
     name = "abstract"
 
     def allocate(self, shape: tuple[int, ...], label: str = "") -> np.ndarray:
-        """Return a zero-initialised int64 buffer of ``shape``."""
+        """Return a zero-initialised int64 buffer of ``shape``.
+
+        Records the buffer in the live-bytes ledger; subclasses supply
+        the storage itself via :meth:`_allocate`.
+        """
+        data = self._allocate(shape, label)
+        self._ledger[id(data)] = int(data.nbytes)
+        return data
+
+    def _allocate(self, shape: tuple[int, ...], label: str = "") -> np.ndarray:
+        """Backend-specific storage for :meth:`allocate`."""
         raise NotImplementedError
+
+    @property
+    def _ledger(self) -> dict[int, int]:
+        # Lazy so subclasses need not call (or even have) __init__.
+        sizes = getattr(self, "_live_sizes", None)
+        if sizes is None:
+            sizes = {}
+            self._live_sizes = sizes
+        return sizes
+
+    @property
+    def live_bytes(self) -> int:
+        """Total bytes of buffers allocated and not yet released."""
+        return sum(self._ledger.values())
 
     def gather(self, data: np.ndarray, indices: np.ndarray) -> np.ndarray:
         """Return a fresh ``(k, B, 2)`` copy of ``data[indices]``.
@@ -75,9 +103,15 @@ class StorageBackend:
 
     def release(self, data: np.ndarray) -> None:
         """Reclaim a buffer previously returned by :meth:`allocate`."""
+        self._ledger.pop(id(data), None)
+        self._release(data)
+
+    def _release(self, data: np.ndarray) -> None:
+        """Backend-specific reclamation for :meth:`release`."""
 
     def close(self) -> None:
         """Release every resource the backend still holds."""
+        self._ledger.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}()"
@@ -88,7 +122,7 @@ class MemoryBackend(StorageBackend):
 
     name = "memory"
 
-    def allocate(self, shape: tuple[int, ...], label: str = "") -> np.ndarray:
+    def _allocate(self, shape: tuple[int, ...], label: str = "") -> np.ndarray:
         return np.zeros(shape, dtype=np.int64)
 
 
@@ -121,7 +155,7 @@ class MemmapBackend(StorageBackend):
         self._paths: dict[int, Path] = {}
         self._seq = 0
 
-    def allocate(self, shape: tuple[int, ...], label: str = "") -> np.ndarray:
+    def _allocate(self, shape: tuple[int, ...], label: str = "") -> np.ndarray:
         if int(np.prod(shape)) == 0:
             # mmap cannot map zero bytes; empty arrays never do I/O anyway.
             return np.zeros(shape, dtype=np.int64)
@@ -132,12 +166,13 @@ class MemmapBackend(StorageBackend):
         self._paths[id(data)] = path
         return data
 
-    def release(self, data: np.ndarray) -> None:
+    def _release(self, data: np.ndarray) -> None:
         path = self._paths.pop(id(data), None)
         if path is not None:
             path.unlink(missing_ok=True)
 
     def close(self) -> None:
+        super().close()
         for path in self._paths.values():
             path.unlink(missing_ok=True)
         self._paths.clear()

@@ -17,7 +17,7 @@ continue to work unchanged.
 
 from __future__ import annotations
 
-__all__ = ["ReproError", "LasVegasFailure", "RetryExhausted"]
+__all__ = ["ReproError", "LasVegasFailure", "RetryExhausted", "ServiceBusy"]
 
 
 class ReproError(Exception):
@@ -54,3 +54,25 @@ class RetryExhausted(LasVegasFailure):
     the number of attempts made and ``__cause__`` chaining the last
     underlying :class:`LasVegasFailure`.
     """
+
+
+class ServiceBusy(ReproError):
+    """The service declined admission under load.
+
+    Raised by :class:`repro.service.ObliviousService` when a request
+    would exceed the configured resident-byte, concurrency or per-tenant
+    quota.  ``retry_after`` is the advisory wait (in the service clock's
+    seconds) before the token bucket will have refilled enough to admit
+    the request; ``reason`` names the exhausted limit.
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        retry_after: float = 0.0,
+        reason: str = "",
+    ) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+        self.reason = reason

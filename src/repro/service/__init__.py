@@ -1,0 +1,35 @@
+"""The session service layer: streaming sources and multi-tenant serving.
+
+Two layers grow the single-session pipeline API toward the ROADMAP's
+"heavy traffic from millions of users" setting:
+
+* **Streaming sources** (:mod:`repro.service.streaming`): a plan's
+  input may arrive as a public schedule of mini-batch chunks instead of
+  one monolithic upload.  The adversary sees the same ``ALLOC`` of the
+  public total either way; only the round-trip count and the client's
+  peak residency change.
+* **The session service** (:mod:`repro.service.service`): an
+  :class:`ObliviousService` multiplexes many sessions over one shared
+  storage backend, with token-bucket admission control
+  (:mod:`repro.service.admission`), per-tenant quotas, idle eviction and
+  a cross-session I/O batcher (:mod:`repro.service.batcher`) that
+  coalesces concurrent plans' round-robin I/O into shared rounds while
+  each session's own serialized trace stays its canonical adversary
+  view.
+"""
+
+from repro.service.admission import ServiceLimits, TokenBucket
+from repro.service.batcher import BatchReport, CrossSessionBatcher
+from repro.service.service import ObliviousService, TenantState
+from repro.service.streaming import ChunkSchedule, StreamSource
+
+__all__ = [
+    "ChunkSchedule",
+    "StreamSource",
+    "ServiceLimits",
+    "TokenBucket",
+    "BatchReport",
+    "CrossSessionBatcher",
+    "ObliviousService",
+    "TenantState",
+]

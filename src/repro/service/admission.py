@@ -1,0 +1,137 @@
+"""Admission control for the session service: limits and a token bucket.
+
+The service guards three resources when a plan asks to run:
+
+* a **rate** of plan admissions, enforced by the classic
+  :class:`TokenBucket` (capacity = burst, continuous refill against an
+  injectable clock — tests drive a fake clock, production the wall
+  clock);
+* **bounded resident bytes** across the shared storage backend
+  (:attr:`~repro.em.storage.StorageBackend.live_bytes` plus the
+  requesting plan's estimated footprint);
+* **bounded concurrency** — plans running at once, and per-tenant
+  resident-handle quotas.
+
+A request that would exceed any of them is rejected with
+:class:`repro.errors.ServiceBusy` carrying ``retry_after``: for the
+bucket, the exact refill time; for the occupancy limits, an advisory
+interval after which capacity has likely turned over.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["ServiceLimits", "TokenBucket"]
+
+
+@dataclass(frozen=True)
+class ServiceLimits:
+    """Resource bounds one :class:`~repro.service.ObliviousService` enforces.
+
+    ``max_resident_bytes`` bounds the shared backend's live bytes
+    (``None``: unbounded); ``max_concurrent_plans`` bounds plans running
+    at once; ``max_tenant_handles`` bounds one tenant's live server
+    arrays; ``admit_burst``/``admit_per_second`` parameterize the
+    admission token bucket (infinite rate: never rate-limited);
+    ``idle_timeout`` is how long a session may sit idle before
+    :meth:`~repro.service.ObliviousService.evict_idle` reclaims it;
+    ``busy_retry_after`` is the advisory wait attached to occupancy
+    (non-bucket) rejections.
+    """
+
+    max_resident_bytes: int | None = None
+    max_concurrent_plans: int = 4
+    max_tenant_handles: int = 64
+    admit_burst: int = 8
+    admit_per_second: float = math.inf
+    idle_timeout: float = math.inf
+    busy_retry_after: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_concurrent_plans < 1:
+            raise ValueError("max_concurrent_plans must be >= 1")
+        if self.max_tenant_handles < 1:
+            raise ValueError("max_tenant_handles must be >= 1")
+        if self.admit_burst < 1:
+            raise ValueError("admit_burst must be >= 1")
+        if self.admit_per_second <= 0:
+            raise ValueError("admit_per_second must be positive")
+
+
+class TokenBucket:
+    """A token bucket over an injectable clock.
+
+    Holds up to ``capacity`` tokens, refilling at ``rate`` tokens per
+    clock second.  :meth:`try_acquire` spends tokens if available;
+    :meth:`retry_after` reports how long until a request could succeed
+    (the value :class:`~repro.errors.ServiceBusy` advertises);
+    :meth:`refund` returns tokens (e.g. for an admitted plan that never
+    ran).  An infinite ``rate`` makes the bucket a no-op that always
+    admits.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        rate: float,
+        clock: Callable[[], float],
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.capacity = float(capacity)
+        self.rate = float(rate)
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._last = clock()
+
+    def _advance(self) -> None:
+        now = self._clock()
+        if now > self._last and not math.isinf(self.rate):
+            self._tokens = min(
+                self.capacity, self._tokens + (now - self._last) * self.rate
+            )
+        self._last = now
+
+    @property
+    def tokens(self) -> float:
+        """Tokens available right now."""
+        self._advance()
+        return self.capacity if math.isinf(self.rate) else self._tokens
+
+    def try_acquire(self, n: float = 1.0) -> bool:
+        """Spend ``n`` tokens if available; returns whether it did."""
+        self._advance()
+        if math.isinf(self.rate):
+            return True
+        if self._tokens + 1e-9 >= n:
+            self._tokens -= n
+            return True
+        return False
+
+    def retry_after(self, n: float = 1.0) -> float:
+        """Clock seconds until ``n`` tokens could be acquired (0.0 if
+        available now; ``inf`` if ``n`` exceeds the bucket outright)."""
+        self._advance()
+        if math.isinf(self.rate):
+            return 0.0
+        if n > self.capacity:
+            return math.inf
+        deficit = n - self._tokens
+        return max(0.0, deficit / self.rate)
+
+    def refund(self, n: float = 1.0) -> None:
+        """Return ``n`` tokens (clamped to capacity)."""
+        self._advance()
+        if not math.isinf(self.rate):
+            self._tokens = min(self.capacity, self._tokens + n)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TokenBucket(tokens={self.tokens:.2f}/{self.capacity:.0f}, "
+            f"rate={self.rate}/s)"
+        )

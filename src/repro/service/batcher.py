@@ -1,0 +1,142 @@
+"""Cross-session I/O batching: coalescing concurrent plans' round-robin
+rounds.
+
+Every hot loop in this library issues its I/O through
+:meth:`~repro.em.machine.EMMachine.io_rounds`-style batched calls — ``k``
+round-robin rounds of ``t`` parallel streams.  When several sessions run
+concurrently over shared storage, rounds from *different* sessions are
+compatible the same way streams within one call are: the server can
+serve session A's round ``j`` and session B's round ``j`` in one
+turnaround, because neither depends on the other's outcome (sessions
+never share arrays).
+
+:class:`CrossSessionBatcher` executes several
+:meth:`~repro.api.executor.Executor.stepwise` plans in deterministic
+round-robin *waves* (one completed step of each live plan per wave) and
+accounts both views of the I/O volume:
+
+* **solo rounds** — the sum of every session's round counts, what the
+  sessions would pay executed back-to-back;
+* **shared rounds** — engine calls zipped positionally across the
+  wave's sessions, each position costing the *maximum* round count
+  among them (the coalesced round-robin turnarounds).
+
+Each session keeps its own machine, counters and trace — the serialized
+per-session transcript is its canonical adversary view and is
+byte-identical to a solo run (the batcher observes only batch *shapes*
+via :attr:`~repro.em.machine.EMMachine.io_observer`, which sees public
+schedule data and never touches the trace).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import zip_longest
+from typing import Iterator, Sequence
+
+from repro.em.machine import EMMachine
+
+__all__ = ["BatchReport", "CrossSessionBatcher"]
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """I/O-round accounting of one batched execution.
+
+    ``solo_rounds`` is the back-to-back total; ``shared_rounds`` the
+    coalesced total; ``per_session`` each session's own solo rounds;
+    ``waves`` how many round-robin waves the batch took.
+    """
+
+    waves: int
+    solo_rounds: int
+    shared_rounds: int
+    per_session: dict[str, int]
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of round turnarounds saved by coalescing (0.0 when
+        nothing ran)."""
+        if not self.solo_rounds:
+            return 0.0
+        return 1.0 - self.shared_rounds / self.solo_rounds
+
+    def __str__(self) -> str:
+        return (
+            f"BatchReport(waves={self.waves}, solo={self.solo_rounds}, "
+            f"shared={self.shared_rounds}, "
+            f"reduction={100 * self.reduction:.1f}%)"
+        )
+
+
+class CrossSessionBatcher:
+    """Drives several stepwise plans in waves, coalescing their rounds.
+
+    ``run`` takes ``(name, machine, stepper)`` triples — ``stepper`` a
+    generator from :meth:`~repro.api.executor.Executor.stepwise` over
+    ``machine`` — and returns ``(results, report)`` with each plan's
+    :class:`~repro.api.result.PlanResult` by name.  Execution is
+    deterministic and single-threaded: wave ``w`` runs one step of every
+    still-live plan in submission order, so each session's randomness,
+    counters and trace are exactly its solo run's.  If any plan raises,
+    every other plan's generator is closed first (their ``finally``
+    cleanup frees all plan arrays) and the error propagates.
+    """
+
+    def run(
+        self, plans: Sequence[tuple[str, EMMachine, Iterator]]
+    ) -> tuple[dict, BatchReport]:
+        names = [name for name, _, _ in plans]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate plan names: {names}")
+        live: dict[str, tuple[EMMachine, Iterator]] = {
+            name: (machine, stepper) for name, machine, stepper in plans
+        }
+        results: dict = {}
+        per_session: dict[str, int] = {name: 0 for name in names}
+        solo_rounds = 0
+        shared_rounds = 0
+        waves = 0
+        try:
+            while live:
+                waves += 1
+                # Per-session engine-call shapes observed this wave.
+                wave_calls: dict[str, list[int]] = {}
+                for name in list(live):
+                    machine, stepper = live[name]
+                    calls: list[int] = []
+                    machine.io_observer = (
+                        lambda rounds, streams, _c=calls: _c.append(rounds)
+                    )
+                    try:
+                        next(stepper)
+                    except StopIteration as stop:
+                        results[name] = stop.value
+                        del live[name]
+                    finally:
+                        machine.io_observer = None
+                    wave_calls[name] = calls
+                # Coalesce: engine calls zip positionally across the
+                # wave's sessions; each position is served in
+                # max(rounds) shared turnarounds.
+                for name, calls in wave_calls.items():
+                    rounds = sum(calls)
+                    per_session[name] += rounds
+                    solo_rounds += rounds
+                shared_rounds += sum(
+                    max(position)
+                    for position in zip_longest(
+                        *wave_calls.values(), fillvalue=0
+                    )
+                )
+        except BaseException:
+            for machine, stepper in live.values():
+                machine.io_observer = None
+                stepper.close()
+            raise
+        return results, BatchReport(
+            waves=waves,
+            solo_rounds=solo_rounds,
+            shared_rounds=shared_rounds,
+            per_session=per_session,
+        )

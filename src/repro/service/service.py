@@ -1,0 +1,337 @@
+"""The multi-tenant session service: shared storage, admission, batching.
+
+:class:`ObliviousService` multiplexes many
+:class:`~repro.api.ObliviousSession`\\ s over **one shared storage
+backend** — the serving arrangement the ROADMAP's "heavy traffic" north
+star asks for.  Each session still owns its machine, counters, seed
+derivation and trace (its canonical adversary view); only the bytes
+live together, and :class:`~repro.em.machine.EMMachine` is built with
+``owns_backend=False`` so a session teardown frees its arrays without
+destroying its neighbours'.
+
+On top of that substrate the service adds the serving-frontend
+concerns:
+
+* **admission control** — a :class:`~repro.service.admission.TokenBucket`
+  rate gate plus occupancy limits (resident bytes, concurrent plans,
+  per-tenant handles), rejecting with
+  :class:`~repro.errors.ServiceBusy` + ``retry_after``;
+* **idle-session eviction** — :meth:`ObliviousService.evict_idle`
+  reclaims sessions (and their resident bytes) that sat idle past the
+  configured timeout;
+* **cross-session batching** — :meth:`ObliviousService.run_batch`
+  drives several admitted plans through the
+  :class:`~repro.service.batcher.CrossSessionBatcher`, coalescing their
+  round-robin I/O while each session's serialized trace stays
+  byte-identical to its solo run.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Iterable
+
+from repro.api.config import EMConfig, RetryPolicy
+from repro.api.executor import Executor
+from repro.api.session import ObliviousSession
+from repro.em.block import RECORD_WIDTH
+from repro.errors import ServiceBusy
+from repro.service.admission import ServiceLimits, TokenBucket
+from repro.service.batcher import BatchReport, CrossSessionBatcher
+from repro.util.mathx import ceil_div
+
+__all__ = ["ObliviousService", "TenantState"]
+
+#: Bytes per record cell (two int64 words).
+_CELL_BYTES = RECORD_WIDTH * 8
+
+
+class TenantState:
+    """One tenant's live sessions and occupancy, as the service sees it."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        #: session → clock timestamp of its last service-run activity.
+        self.sessions: dict[ObliviousSession, float] = {}
+
+    @property
+    def resident_handles(self) -> int:
+        """Live server arrays across this tenant's sessions."""
+        return sum(len(s.machine._arrays) for s in self.sessions)
+
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes of shared storage this tenant's sessions hold."""
+        return sum(s.machine.resident_bytes for s in self.sessions)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TenantState({self.name!r}, sessions={len(self.sessions)}, "
+            f"handles={self.resident_handles})"
+        )
+
+
+class ObliviousService:
+    """Serve many oblivious sessions over one storage backend.
+
+    Parameters
+    ----------
+    config:
+        Machine shape and backend for every session (the backend is
+        instantiated **once** and shared).
+    limits:
+        :class:`~repro.service.admission.ServiceLimits`; default limits
+        are permissive except for four concurrent plans.
+    seed:
+        Service root seed; session ``i`` defaults to ``seed + i`` unless
+        the caller passes an explicit per-session seed (solo-vs-service
+        trace comparisons pin the same seed on both sides).
+    clock:
+        Monotonic-seconds callable; tests inject a fake clock to drive
+        the token bucket and idle eviction deterministically.
+
+    Use as a context manager (or call :meth:`close`) so the shared
+    backend is reclaimed::
+
+        with ObliviousService(EMConfig(M=64, B=4), seed=3) as svc:
+            session = svc.session("tenant-a")
+            plan = session.stream(chunks).sort().plan()
+            result = svc.execute("tenant-a", plan)
+    """
+
+    def __init__(
+        self,
+        config: EMConfig | None = None,
+        *,
+        limits: ServiceLimits | None = None,
+        seed: int = 0,
+        clock=time.monotonic,
+        **overrides: Any,
+    ) -> None:
+        config = config if config is not None else EMConfig()
+        if overrides:
+            config = config.with_overrides(**overrides)
+        self.config = config
+        self.limits = limits if limits is not None else ServiceLimits()
+        self.seed = int(seed)
+        self._clock = clock
+        self.backend = config.make_backend()
+        self.bucket = TokenBucket(
+            self.limits.admit_burst, self.limits.admit_per_second, clock
+        )
+        self._tenants: dict[str, TenantState] = {}
+        self._active_plans = 0
+        self._session_count = 0
+        self._closed = False
+
+    # -- tenants and sessions ----------------------------------------------
+
+    def tenant(self, name: str) -> TenantState:
+        """This tenant's state (created on first use)."""
+        state = self._tenants.get(name)
+        if state is None:
+            state = self._tenants[name] = TenantState(name)
+        return state
+
+    def tenants(self) -> list[str]:
+        """Known tenant names, sorted."""
+        return sorted(self._tenants)
+
+    def session(
+        self,
+        tenant: str,
+        *,
+        seed: int | None = None,
+        retry: RetryPolicy | None = None,
+        optimize: bool | str = False,
+    ) -> ObliviousSession:
+        """A fresh session for ``tenant`` over the shared backend.
+
+        The session is a full :class:`~repro.api.ObliviousSession` —
+        same seed derivation, same pipeline API — whose machine shares
+        the service backend without owning it, so its transcript is
+        byte-identical to a solo session's at the same seed.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        machine = self.config.make_machine(self.backend, owns_backend=False)
+        sess = ObliviousSession(
+            self.config,
+            seed=self.seed + self._session_count if seed is None else seed,
+            retry=retry,
+            optimize=optimize,
+            machine=machine,
+        )
+        self._session_count += 1
+        self.tenant(tenant).sessions[sess] = self._clock()
+        return sess
+
+    # -- admission ----------------------------------------------------------
+
+    def _plan_bytes(self, plan) -> int:
+        """Estimated peak footprint of a plan: its source layouts plus
+        equal headroom for the staged output of each step."""
+        cells = 0
+        for node in plan.nodes:
+            if not node.is_source or node.resident is not None:
+                continue  # resident sources already count in live_bytes
+            n = max(1, node.n_items)
+            cells += ceil_div(n, self.config.B) * self.config.B
+        return 2 * cells * _CELL_BYTES
+
+    def admit(self, tenant: str, plan) -> None:
+        """Admit one plan or raise :class:`~repro.errors.ServiceBusy`.
+
+        On success the plan holds one concurrency slot; :meth:`release`
+        must be called when it finishes (:meth:`execute` and
+        :meth:`run_batch` do this for you).
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        limits = self.limits
+        if not self.bucket.try_acquire(1.0):
+            raise ServiceBusy(
+                f"admission rate exceeded for tenant {tenant!r}",
+                retry_after=self.bucket.retry_after(1.0),
+                reason="rate",
+            )
+        try:
+            if self._active_plans >= limits.max_concurrent_plans:
+                raise ServiceBusy(
+                    f"{self._active_plans} plans already running "
+                    f"(limit {limits.max_concurrent_plans})",
+                    retry_after=limits.busy_retry_after,
+                    reason="concurrent_plans",
+                )
+            if limits.max_resident_bytes is not None:
+                needed = self._plan_bytes(plan)
+                live = self.backend.live_bytes
+                if live + needed > limits.max_resident_bytes:
+                    raise ServiceBusy(
+                        f"plan needs ~{needed} bytes but only "
+                        f"{limits.max_resident_bytes - live} of "
+                        f"{limits.max_resident_bytes} remain resident",
+                        retry_after=limits.busy_retry_after,
+                        reason="resident_bytes",
+                    )
+            state = self.tenant(tenant)
+            if state.resident_handles >= limits.max_tenant_handles:
+                raise ServiceBusy(
+                    f"tenant {tenant!r} holds {state.resident_handles} "
+                    f"resident handles (quota {limits.max_tenant_handles})",
+                    retry_after=limits.busy_retry_after,
+                    reason="tenant_handles",
+                )
+        except ServiceBusy:
+            self.bucket.refund(1.0)
+            raise
+        self._active_plans += 1
+
+    def release(self) -> None:
+        """Return one admitted plan's concurrency slot."""
+        self._active_plans = max(0, self._active_plans - 1)
+
+    # -- execution -----------------------------------------------------------
+
+    def _touch(self, tenant: str, session: ObliviousSession) -> None:
+        state = self.tenant(tenant)
+        if session in state.sessions:
+            state.sessions[session] = self._clock()
+
+    def execute(self, tenant: str, plan, optimize: bool | str | None = None):
+        """Admit and run one plan, returning its
+        :class:`~repro.api.result.PlanResult`."""
+        self.admit(tenant, plan)
+        try:
+            return plan.run(optimize)
+        finally:
+            self.release()
+            self._touch(tenant, plan.session)
+
+    def run_batch(
+        self,
+        submissions: Iterable[tuple[str, str, Any]],
+        optimize: bool | str | None = None,
+    ) -> tuple[dict, BatchReport]:
+        """Admit and run several plans concurrently with cross-session
+        I/O batching.
+
+        ``submissions`` is ``(name, tenant, plan)`` triples.  All plans
+        are admitted up front (on any rejection the already-admitted
+        ones are released and the :class:`~repro.errors.ServiceBusy`
+        propagates — all-or-nothing), then interleaved one step per
+        wave by the :class:`~repro.service.batcher.CrossSessionBatcher`.
+        Returns ``(results_by_name, BatchReport)``; each session's own
+        trace is byte-identical to running its plan alone.
+        """
+        submissions = list(submissions)
+        admitted = 0
+        try:
+            for _, tenant, plan in submissions:
+                self.admit(tenant, plan)
+                admitted += 1
+        except ServiceBusy:
+            for _ in range(admitted):
+                self.release()
+            raise
+        try:
+            plans = [
+                (
+                    name,
+                    plan.session.machine,
+                    Executor(plan.session).stepwise(plan, optimize),
+                )
+                for name, _, plan in submissions
+            ]
+            return CrossSessionBatcher().run(plans)
+        finally:
+            for _, tenant, plan in submissions:
+                self.release()
+                self._touch(tenant, plan.session)
+
+    # -- occupancy and lifecycle ----------------------------------------------
+
+    @property
+    def resident_bytes(self) -> int:
+        """Live bytes across the shared backend."""
+        return self.backend.live_bytes
+
+    def evict_idle(self, *, timeout: float | None = None) -> list[str]:
+        """Close sessions idle for at least ``timeout`` clock seconds
+        (default: the configured ``idle_timeout``), freeing their
+        resident arrays; returns ``"tenant"`` names, one per evicted
+        session."""
+        timeout = self.limits.idle_timeout if timeout is None else timeout
+        now = self._clock()
+        evicted: list[str] = []
+        for state in self._tenants.values():
+            for sess, last in list(state.sessions.items()):
+                if now - last >= timeout:
+                    del state.sessions[sess]
+                    sess.close()  # frees arrays; shared backend stays open
+                    evicted.append(state.name)
+        return evicted
+
+    def close(self) -> None:
+        """Close every session, then the shared backend (idempotent)."""
+        if self._closed:
+            return
+        for state in self._tenants.values():
+            for sess in list(state.sessions):
+                sess.close()
+            state.sessions.clear()
+        self.backend.close()
+        self._closed = True
+
+    def __enter__(self) -> "ObliviousService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ObliviousService(tenants={len(self._tenants)}, "
+            f"active_plans={self._active_plans}, "
+            f"resident_bytes={self.resident_bytes})"
+        )

@@ -1,0 +1,160 @@
+"""Streaming plan sources: a public chunk schedule of mini-batch uploads.
+
+A :class:`StreamSource` is the client's declaration that a plan input
+arrives as ``num_chunks`` uploads of ``chunk_records`` records each —
+the :class:`ChunkSchedule` — rather than one monolithic
+:meth:`~repro.em.machine.EMMachine.load_records` call.  The executor
+provisions the server array once for the *public total*
+(:meth:`~repro.em.machine.EMMachine.begin_chunked_load`, emitting
+exactly the ``ALLOC`` a one-shot upload of that total would) and then
+feeds each chunk through :meth:`~repro.em.machine.EMMachine.load_chunk`.
+
+Obliviousness contract.  The schedule — count × chunk size — is public,
+like every ``n_items`` in this library.  What must stay hidden is the
+*data-dependent arrival size*: a short chunk (fewer real records than
+``chunk_records``) is padded with ``NULL`` rows client-side, so every
+chunk writes exactly ``chunk_records`` cells and the server-side layout
+is a fixed function of the schedule alone.  Padding makes the staged
+``n_items`` the padded total, which is why only algorithms declaring
+``null_tolerant=True`` (see :class:`repro.api.registry.AlgorithmSpec`)
+may consume a stream directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.em.block import NULL_KEY, RECORD_WIDTH
+
+__all__ = ["ChunkSchedule", "StreamSource"]
+
+
+@dataclass(frozen=True)
+class ChunkSchedule:
+    """The public shape of a streamed upload: ``num_chunks`` client→server
+    round trips of ``chunk_records`` records each."""
+
+    num_chunks: int
+    chunk_records: int
+
+    def __post_init__(self) -> None:
+        if self.num_chunks < 1:
+            raise ValueError(
+                f"num_chunks must be >= 1, got {self.num_chunks}"
+            )
+        if self.chunk_records < 1:
+            raise ValueError(
+                f"chunk_records must be >= 1, got {self.chunk_records}"
+            )
+
+    @property
+    def total_records(self) -> int:
+        """The public total the server provisions for."""
+        return self.num_chunks * self.chunk_records
+
+
+class StreamSource:
+    """A plan source whose records arrive as scheduled mini-batches.
+
+    Parameters
+    ----------
+    chunks:
+        The mini-batches, each convertible to an ``(k, 2)`` int64 record
+        array (1-D key arrays get zero values, as in
+        :meth:`repro.api.ObliviousSession.dataset`).  Every chunk must
+        hold at most ``chunk_records`` records; short chunks are padded
+        with ``NULL`` rows so arrival sizes never leak.
+    chunk_records:
+        The public per-chunk record count.  Defaults to the length of
+        the largest chunk.
+    num_chunks:
+        The public chunk count.  Defaults to ``len(chunks)``; declaring
+        more appends all-``NULL`` ghost chunks (a client hiding even how
+        many batches it had).
+    """
+
+    def __init__(
+        self,
+        chunks: Sequence,
+        *,
+        chunk_records: int | None = None,
+        num_chunks: int | None = None,
+    ) -> None:
+        normalized = [self._as_chunk(c) for c in chunks]
+        if not normalized and num_chunks is None:
+            raise ValueError("a stream needs at least one chunk")
+        if chunk_records is None:
+            chunk_records = max((len(c) for c in normalized), default=0)
+        if chunk_records < 1:
+            raise ValueError("chunk_records must be >= 1")
+        if num_chunks is None:
+            num_chunks = len(normalized)
+        if len(normalized) > num_chunks:
+            raise ValueError(
+                f"{len(normalized)} chunks exceed the declared schedule "
+                f"of {num_chunks}"
+            )
+        for i, c in enumerate(normalized):
+            if len(c) > chunk_records:
+                raise ValueError(
+                    f"chunk {i} holds {len(c)} records, exceeding the "
+                    f"public chunk size {chunk_records}"
+                )
+        self.schedule = ChunkSchedule(num_chunks, chunk_records)
+        self._chunks = normalized
+
+    @staticmethod
+    def _as_chunk(data) -> np.ndarray:
+        arr = np.asarray(data, dtype=np.int64)
+        if arr.ndim == 1:
+            arr = np.stack(
+                [arr, np.zeros(len(arr), dtype=np.int64)], axis=1
+            )
+        if arr.ndim != 2 or arr.shape[1] != RECORD_WIDTH:
+            raise ValueError(
+                f"chunk must be 1-D keys or (k, 2) records, "
+                f"got shape {arr.shape}"
+            )
+        return arr
+
+    @property
+    def n_items(self) -> int:
+        """The staged item count: the *public* padded total."""
+        return self.schedule.total_records
+
+    @property
+    def real_records(self) -> int:
+        """Actual records supplied (private; never drives the trace)."""
+        return sum(len(c) for c in self._chunks)
+
+    def padded_chunks(self) -> Iterator[tuple[int, np.ndarray]]:
+        """Yield ``(offset_records, padded_chunk)`` per scheduled chunk.
+
+        Every yielded chunk is exactly ``chunk_records`` rows — real
+        records first, ``NULL`` padding after — so the upload pattern is
+        a fixed function of the schedule.  Ghost chunks (declared but
+        not supplied) are all padding.
+        """
+        size = self.schedule.chunk_records
+        for i in range(self.schedule.num_chunks):
+            padded = np.zeros((size, RECORD_WIDTH), dtype=np.int64)
+            padded[:, 0] = NULL_KEY
+            if i < len(self._chunks):
+                chunk = self._chunks[i]
+                padded[: len(chunk)] = chunk
+            yield i * size, padded
+
+    def materialize(self) -> np.ndarray:
+        """The equivalent one-shot upload: all padded chunks concatenated
+        (what :meth:`~repro.em.machine.EMMachine.load_records` would have
+        been handed to produce the identical server layout)."""
+        return np.concatenate([c for _, c in self.padded_chunks()])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StreamSource(chunks={self.schedule.num_chunks}, "
+            f"chunk_records={self.schedule.chunk_records})"
+        )

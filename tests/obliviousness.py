@@ -39,6 +39,9 @@ __all__ = [
     "workload",
     "adversary_fingerprint",
     "assert_adversary_view_invariant",
+    "streamed_chain_workload",
+    "streamed_adversary_fingerprint",
+    "interleaved_tenant_fingerprints",
     "oram_transcript",
     "oram_probe_counts",
     "assert_oram_shape_invariant",
@@ -181,6 +184,107 @@ def assert_adversary_view_invariant(
         f"{len(datasets)} same-shape inputs: {views}"
     )
     return next(iter(views))
+
+
+# ---------------------------------------------------------------------------
+# Streaming + service harness: the adversary view of mini-batch uploads
+# ---------------------------------------------------------------------------
+#
+# A streamed source's public surface is its chunk *schedule* — the chunk
+# count and the fixed per-chunk record count — never the data-dependent
+# arrival sizes (short chunks are padded to the schedule before any
+# traced operation sees them).  These helpers extend the invariance
+# property to that surface: at a fixed (chunk schedule, params, seed),
+# the complete transcript of a streamed multi-step plan must be
+# bit-identical across data permutations; and under the multi-tenant
+# service, one tenant's transcript must be independent of what the
+# *other* tenants stream (the batcher coalesces round-robin rounds but
+# each session's serialized trace stays its canonical adversary view).
+
+
+def streamed_chain_workload(
+    rng: np.random.Generator, *, num_chunks: int = 2, chunk_records: int = 48
+) -> list[np.ndarray]:
+    """Chunked records with a pinned public shape: ``num_chunks`` full
+    chunks of ``chunk_records`` records, exactly half the keys inside
+    the chain's mask window (a step's surviving count is public — see
+    ``test_mask_selectivity_is_public_when_composed``); key values,
+    the value column and the record order all vary with ``rng``."""
+    total = num_chunks * chunk_records
+    half = total // 2
+    keep = rng.choice(10**5, size=half, replace=False) + 2 * 10**5
+    drop = rng.choice(10**5, size=total - half, replace=False)
+    keys = rng.permutation(np.concatenate([keep, drop]))
+    data = np.stack(
+        [keys, rng.integers(0, 10**6, size=total)], axis=1
+    ).astype(np.int64)
+    return [
+        data[i * chunk_records : (i + 1) * chunk_records]
+        for i in range(num_chunks)
+    ]
+
+
+def streamed_adversary_fingerprint(
+    chunks,
+    *,
+    chunk_records: int | None = None,
+    num_chunks: int | None = None,
+    optimize: bool | str = False,
+    backend: str = "memory",
+    seed: int = SEED,
+) -> str:
+    """Full machine-transcript fingerprint of the reference streamed
+    3-step chain (shuffle → mask → sort) over ``chunks`` in a fresh
+    session — chunk ingestion, every attempt, and teardown included."""
+    cfg = EMConfig(M=64, B=4, backend=backend)
+    with ObliviousSession(
+        cfg, seed=seed, retry=RetryPolicy(max_attempts=6)
+    ) as session:
+        ds = session.stream(
+            chunks, chunk_records=chunk_records, num_chunks=num_chunks
+        )
+        ds.shuffle().apply("mask", lo=2 * 10**5).sort().run(optimize)
+        return session.machine.trace.fingerprint()
+
+
+def interleaved_tenant_fingerprints(
+    chunks_a,
+    chunks_b,
+    *,
+    seed_a: int = SEED,
+    seed_b: int = SEED + 1,
+    backend: str = "memory",
+) -> tuple[str, str]:
+    """Run tenant A's and tenant B's streamed chains interleaved through
+    one :class:`~repro.service.ObliviousService` batch over shared
+    storage; returns both tenants' full machine-trace fingerprints."""
+    from repro.service import ObliviousService
+
+    cfg = EMConfig(M=64, B=4, backend=backend)
+    with ObliviousService(cfg) as svc:
+        sess_a = svc.session("tenant-a", seed=seed_a)
+        sess_b = svc.session("tenant-b", seed=seed_b)
+        plan_a = (
+            sess_a.stream(chunks_a)
+            .shuffle()
+            .apply("mask", lo=2 * 10**5)
+            .sort()
+            .plan()
+        )
+        plan_b = (
+            sess_b.stream(chunks_b)
+            .shuffle()
+            .apply("mask", lo=2 * 10**5)
+            .sort()
+            .plan()
+        )
+        svc.run_batch(
+            [("a", "tenant-a", plan_a), ("b", "tenant-b", plan_b)]
+        )
+        return (
+            sess_a.machine.trace.fingerprint(),
+            sess_b.machine.trace.fingerprint(),
+        )
 
 
 # ---------------------------------------------------------------------------

@@ -161,6 +161,88 @@ def test_non_oblivious_baselines_fail_the_invariant(name):
 
 
 # ---------------------------------------------------------------------------
+# Streaming + service workloads (satellite of the session-service PR)
+# ---------------------------------------------------------------------------
+
+from obliviousness import (  # noqa: E402 - grouped with their tests
+    interleaved_tenant_fingerprints,
+    streamed_adversary_fingerprint,
+    streamed_chain_workload,
+)
+
+#: Reference adversary view of the streamed 3-step chain per optimize
+#: mode, pinned by the first hypothesis example.
+_STREAM_REFERENCE: dict = {}
+
+
+@pytest.mark.parametrize("optimize", [False, True], ids=["plain", "optimized"])
+@given(variant=st.integers(0, 2**32 - 1))
+@settings(max_examples=4, deadline=None)
+def test_streamed_chain_transcript_depends_only_on_chunk_schedule(
+    optimize, variant
+):
+    """The streaming extension of the §1 property: a streamed 3-step
+    plan's complete transcript — chunk ingestion included — is a fixed
+    function of (chunk schedule, params, seed), bit-identical across
+    data permutations and value assignments."""
+    rng = np.random.default_rng(variant)
+    chunks = streamed_chain_workload(rng)
+    fp = streamed_adversary_fingerprint(chunks, optimize=optimize)
+    ref = _STREAM_REFERENCE.setdefault(optimize, fp)
+    assert fp == ref, (
+        f"streamed chain (optimize={optimize}) leaked data through its "
+        f"transcript: variant {variant} produced view {fp[:16]}… vs "
+        f"reference {ref[:16]}… at a fixed chunk schedule"
+    )
+
+
+def test_streamed_transcript_equals_one_shot_transcript():
+    """Stronger than invariance: streaming full chunks is transcript-
+    equivalent to one-shot upload of the concatenation — the chunked
+    load emits the same single traced allocation and the per-chunk
+    writes are untraced client→server round trips."""
+    import numpy as np
+
+    from repro.api import EMConfig, ObliviousSession, RetryPolicy
+    from obliviousness import SEED
+
+    rng = np.random.default_rng(5)
+    chunks = streamed_chain_workload(rng)
+    fp_stream = streamed_adversary_fingerprint(chunks)
+    cfg = EMConfig(M=64, B=4)
+    with ObliviousSession(
+        cfg, seed=SEED, retry=RetryPolicy(max_attempts=6)
+    ) as s:
+        ds = s.dataset(np.concatenate(chunks))
+        ds.shuffle().apply("mask", lo=2 * 10**5).sort().run()
+        assert s.machine.trace.fingerprint() == fp_stream
+
+
+@given(variant=st.integers(0, 2**32 - 1))
+@settings(max_examples=4, deadline=None)
+def test_tenant_trace_is_independent_of_other_tenants_data(variant):
+    """Two-tenant interleaving invariance: tenant A's serialized trace
+    under the batched service is a fixed function of A's own (schedule,
+    params, seed) — whatever tenant B streams alongside it, and equal to
+    A's solo-run trace."""
+    chunks_a = streamed_chain_workload(np.random.default_rng(0))
+    chunks_b = streamed_chain_workload(np.random.default_rng(variant + 1))
+    fp_a, fp_b = interleaved_tenant_fingerprints(chunks_a, chunks_b)
+    key = ("tenant-a", SEED)
+    ref = _STREAM_REFERENCE.setdefault(key, fp_a)
+    assert fp_a == ref, (
+        f"tenant A's trace changed with tenant B's data: variant "
+        f"{variant} produced {fp_a[:16]}… vs reference {ref[:16]}…"
+    )
+    # And interleaving itself is invisible: A's batched trace is its
+    # solo trace.
+    solo = _STREAM_REFERENCE.setdefault(
+        ("solo-a", SEED), streamed_adversary_fingerprint(chunks_a)
+    )
+    assert fp_a == solo
+
+
+# ---------------------------------------------------------------------------
 # ORAM layer: raw read/write/dummy sequences (satellite of the batching PR)
 # ---------------------------------------------------------------------------
 
