@@ -44,6 +44,11 @@ SERVICE_METRICS = (
     "batch_reduction",
     "batch_wall_seconds",
 )
+PARALLEL_METRICS = (
+    "speedup",
+    "sequential_wall_seconds",
+    "parallel_wall_seconds",
+)
 #: Artifacts with their own metric tables; everything else uses METRICS.
 #: A metric missing on either side (schema drift between PRs, or a brand
 #: new artifact like BENCH_oram.json on its first compare) is reported as
@@ -52,6 +57,7 @@ ARTIFACT_METRICS = {
     "pipeline": PIPELINE_METRICS,
     "oram": ORAM_METRICS,
     "service": SERVICE_METRICS,
+    "parallel": PARALLEL_METRICS,
 }
 #: Deterministic metrics: any worsening is flagged regardless of threshold.
 EXACT = {
@@ -66,8 +72,9 @@ EXACT = {
     "streamed_round_trips",
     "batch_shared_rounds",
 }
-#: Metrics where a *larger* value is the good direction (batch quality).
-HIGHER_IS_BETTER = {"mean_batch_size", "batch_reduction"}
+#: Metrics where a *larger* value is the good direction (batch quality,
+#: parallel speedup).
+HIGHER_IS_BETTER = {"mean_batch_size", "batch_reduction", "speedup"}
 
 
 def load_dir(path: Path, notes: list[str] | None = None) -> dict[str, dict]:

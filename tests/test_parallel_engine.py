@@ -1,0 +1,537 @@
+"""The parallel I/O engine must be observationally identical to the
+sequential engine: same outputs, same I/O counters, same ciphertext
+versions, and a byte-identical adversary-visible trace — at every worker
+count, on every storage backend.
+
+Parallelism here is a *simulation* detail: the engine fans out only the
+numpy gather/scatter data movement, while the calling thread keeps
+counters, versions, trace rows and observer callbacks in sequential
+order.  These tests pin that contract three ways: the golden-fingerprint
+grid anchors the full algorithm stack against the scalar-engine
+fingerprints of ``test_em_batched_engine``; the hypothesis twins drive
+random batched programs on parallel-vs-sequential machine pairs; and the
+stress tests pin the shared-state safety (storage ledger, version clock)
+the fan-out relies on.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import EMConfig, ObliviousSession
+from repro.analysis.bounds import (
+    PAPER_BOUNDS,
+    estimate_ios,
+    estimate_span_ios,
+    span_scale,
+)
+from repro.em.block import NULL_KEY
+from repro.em.crypto import CiphertextVersions, mix_digest
+from repro.em.machine import EMMachine
+from repro.em.parallel import ParallelIOEngine, resolve_workers
+from repro.em.storage import MemmapBackend, MemoryBackend
+
+from test_em_batched_engine import GOLDEN
+
+WORKER_GRID = [1, 2, 4]
+
+
+def _config(backend, workers, tmp_path, **kw):
+    return EMConfig(
+        M=128,
+        B=4,
+        trace=True,
+        backend=backend,
+        backend_dir=(
+            str(tmp_path / f"be-{backend}-{workers}")
+            if backend == "memmap"
+            else None
+        ),
+        parallel_workers=workers,
+        parallel_min_blocks=1,  # force the parallel path at test sizes
+        **kw,
+    )
+
+
+def _golden_workload(name):
+    n = 512
+    rng = np.random.default_rng(0)
+    keys = rng.permutation(np.arange(n))
+    if name == "compact":
+        n_blocks = n // 4
+        layout = np.zeros((n_blocks * 4, 2), dtype=np.int64)
+        layout[:, 0] = NULL_KEY
+        live = np.arange(0, n_blocks, 3)
+        layout[live * 4, 0] = live
+        layout[live * 4, 1] = live * 10
+        return layout, {}
+    if name == "select":
+        return keys, {"k": n // 2}
+    if name == "quantiles":
+        return keys, {"q": 3}
+    return keys, {}
+
+
+def _run_algo(name, backend, workers, tmp_path):
+    data, params = _golden_workload(name)
+    cfg = _config(backend, workers, tmp_path)
+    with ObliviousSession(cfg, seed=11) as s:
+        result = s.run(name, data, **params)
+        full_fp = s.machine.trace.fingerprint()
+    out = (
+        result.records.tobytes() if result.records is not None else None,
+        np.asarray(result.value).tobytes() if result.value is not None else None,
+    )
+    return result, full_fp, out
+
+
+class TestGoldenParityGrid:
+    """sort/shuffle/compact/quantiles at seed 11: workers ∈ {1,2,4} ×
+    {memory, memmap} are byte-identical to the sequential engine, and
+    the golden scalar-engine fingerprints still hold."""
+
+    @pytest.mark.parametrize("backend", ["memory", "memmap"])
+    @pytest.mark.parametrize("name", ["sort", "shuffle", "compact", "quantiles"])
+    def test_workers_do_not_change_anything_observable(
+        self, name, backend, tmp_path
+    ):
+        ref_result, ref_fp, ref_out = _run_algo(name, backend, 1, tmp_path)
+        assert ref_result.cost.parallel_rounds == 0
+        for workers in WORKER_GRID[1:]:
+            result, fp, out = _run_algo(name, backend, workers, tmp_path)
+            assert out == ref_out
+            assert fp == ref_fp
+            assert result.cost.trace_fingerprint == ref_result.cost.trace_fingerprint
+            # CostReport equality covers reads/writes/attempts/batches
+            # (worker_utilization is compare=False by design).
+            assert result.cost == result.cost.__class__(
+                **{
+                    **ref_result.cost.__dict__,
+                    "parallel_rounds": result.cost.parallel_rounds,
+                }
+            )
+            assert result.cost.parallel_rounds > 0
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_parallel_engine_reproduces_scalar_golden_fingerprints(
+        self, name, tmp_path
+    ):
+        """The workers=4 transcript still equals the fingerprint captured
+        on the original *scalar* (pre-batching) engine."""
+        result, _, _ = _run_algo(name, "memory", 4, tmp_path)
+        want_ios, want_fp = GOLDEN[name]
+        assert result.cost.total == want_ios
+        assert result.cost.trace_fingerprint == want_fp
+        assert result.cost.parallel_rounds > 0
+
+
+def _twin_machines(workers, n_blocks=12, M=64, B=4):
+    """A sequential machine and a parallel twin, identically loaded."""
+    rng = np.random.default_rng(7)
+    payload = rng.integers(0, 100, size=(2, n_blocks * B, 2)).astype(np.int64)
+    machines, arrays = [], []
+    for w in (1, workers):
+        mach = EMMachine(M, B, parallel_workers=w, parallel_min_blocks=1)
+        a = mach.alloc(n_blocks, "a")
+        b = mach.alloc(n_blocks, "b")
+        a.load_flat(payload[0])
+        b.load_flat(payload[1])
+        machines.append(mach)
+        arrays.append((a, b))
+    return machines, arrays
+
+
+def _assert_twins(m1, m2, arrays1, arrays2):
+    assert m1.reads == m2.reads
+    assert m1.writes == m2.writes
+    assert m1.batch_count == m2.batch_count
+    assert m1.batched_io_count == m2.batched_io_count
+    assert m1.trace.fingerprint() == m2.trace.fingerprint()
+    for x, y in zip(arrays1, arrays2):
+        assert np.array_equal(x.raw, y.raw)
+        assert np.array_equal(x.versions.snapshot(), y.versions.snapshot())
+
+
+indices_strategy = st.lists(
+    st.integers(min_value=0, max_value=11), min_size=0, max_size=16
+)
+
+
+class TestParallelSequentialTwins:
+    """Hypothesis equivalence: every batched entry point behaves
+    identically on a parallel machine and its sequential twin —
+    duplicate indices, strides, payload callables and all."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(idx=indices_strategy, workers=st.sampled_from([2, 4]))
+    def test_read_write_many(self, idx, workers):
+        (seq, par), ((a1, b1), (a2, b2)) = _twin_machines(workers)
+        arr = np.asarray(idx, dtype=np.int64)
+        blocks = np.arange(len(idx) * 8, dtype=np.int64).reshape(len(idx), 4, 2)
+        r1 = seq.read_many(a1, arr)
+        r2 = par.read_many(a2, arr)
+        assert np.array_equal(r1, r2)
+        seq.write_many(b1, arr, blocks)
+        par.write_many(b2, arr, blocks)
+        _assert_twins(seq, par, (a1, b1), (a2, b2))
+        par.close()
+        seq.close()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        src=st.lists(
+            st.integers(min_value=0, max_value=11), min_size=0, max_size=12
+        ),
+        workers=st.sampled_from([2, 4]),
+    )
+    def test_copy_many_and_swap_many(self, src, workers):
+        (seq, par), ((a1, b1), (a2, b2)) = _twin_machines(workers)
+        srci = np.asarray(src, dtype=np.int64)
+        dsti = np.asarray(list(reversed(range(len(src)))), dtype=np.int64)
+        seq.copy_many(a1, srci, b1, dsti)
+        par.copy_many(a2, srci, b2, dsti)
+        seq.swap_many(a1, srci, dsti)
+        par.swap_many(a2, srci, dsti)
+        _assert_twins(seq, par, (a1, b1), (a2, b2))
+        par.close()
+        seq.close()
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        k=st.integers(min_value=0, max_value=10),
+        start=st.integers(min_value=0, max_value=2),
+        workers=st.sampled_from([2, 4]),
+    )
+    def test_io_rounds_with_payload_and_fancy_writes(self, k, start, workers):
+        (seq, par), ((a1, b1), (a2, b2)) = _twin_machines(workers)
+        rev = np.arange(start + k - 1, start - 1, -1, dtype=np.int64)
+        outs = []
+        for m, a, b in ((seq, a1, b1), (par, a2, b2)):
+            outs.append(
+                m.io_rounds(
+                    [
+                        ("r", a, (start, start + k)),
+                        ("w", b, (start, start + k), lambda reads: reads[0] + 1),
+                        ("w", b, rev, np.ones((k, 4, 2), dtype=np.int64)),
+                    ]
+                )
+            )
+        for got, want in zip(outs[0], outs[1]):
+            assert (got is None) == (want is None)
+            if got is not None:
+                assert np.array_equal(got, want)
+        _assert_twins(seq, par, (a1, b1), (a2, b2))
+        par.close()
+        seq.close()
+
+    def test_duplicate_fancy_scatter_keeps_last_wins(self):
+        """A fancy write stream with duplicate indices must reproduce
+        the sequential last-wins result exactly (the engine must not
+        shard it)."""
+        (seq, par), ((a1, _), (a2, _)) = _twin_machines(4, n_blocks=8)
+        idx = np.array([1, 5, 1, 5, 1, 2], dtype=np.int64)
+        blocks = np.arange(6 * 8, dtype=np.int64).reshape(6, 4, 2)
+        seq.write_many(a1, idx, blocks)
+        par.write_many(a2, idx, blocks)
+        _assert_twins(seq, par, (a1,), (a2,))
+        par.close()
+        seq.close()
+
+
+class TestEngineMechanics:
+    def test_resolve_workers_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL_WORKERS", raising=False)
+        assert resolve_workers(None) == 1
+        assert resolve_workers(3) == 3
+        monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "4")
+        assert resolve_workers(None) == 4
+        assert resolve_workers(2) == 2  # explicit wins
+        with pytest.raises(ValueError, match="parallel_workers"):
+            resolve_workers(0)
+
+    def test_engine_validation_and_gating(self):
+        with pytest.raises(ValueError, match=">= 2 workers"):
+            ParallelIOEngine(1)
+        with pytest.raises(ValueError, match="parallel mode"):
+            ParallelIOEngine(2, mode="gpu")
+        eng = ParallelIOEngine(2, min_blocks=100)
+        assert not eng.engages(99)
+        assert eng.engages(100)
+        eng.close()
+        eng.close()  # idempotent
+
+    def test_machine_below_threshold_stays_sequential(self):
+        m = EMMachine(64, 4, parallel_workers=4, parallel_min_blocks=10**9)
+        a = m.alloc(8, "a")
+        m.read_many(a, (0, 8))
+        assert m.parallel_rounds == 0
+        m.close()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError, match="parallel mode"):
+            EMConfig(parallel_mode="gpu")
+        with pytest.raises(ValueError, match="parallel_workers"):
+            EMConfig(parallel_workers=0)
+        with pytest.raises(ValueError, match="parallel_min_blocks"):
+            EMConfig(parallel_min_blocks=0)
+
+    def test_meter_and_cost_report_expose_parallel_counters(self, tmp_path):
+        cfg = _config("memory", 4, tmp_path)
+        with ObliviousSession(cfg, seed=3) as s:
+            result = s.sort(np.arange(256)[::-1].copy())
+        cost = result.cost
+        assert cost.parallel_rounds > 0
+        assert 0.0 <= cost.worker_utilization <= 1.0
+        assert "parallel rounds" in str(cost)
+        # Utilization never participates in report equality.
+        clone = cost.__class__(**{**cost.__dict__, "worker_utilization": 0.42})
+        assert clone == cost
+
+    def test_metered_scopes_parallel_rounds(self):
+        m = EMMachine(64, 4, parallel_workers=2, parallel_min_blocks=1)
+        a = m.alloc(8, "a")
+        m.read_many(a, (0, 8))
+        with m.metered() as meter:
+            m.read_many(a, (0, 4))
+        assert meter.parallel_rounds == 4
+        assert meter.workers == 2
+        assert 0.0 <= meter.worker_utilization <= 1.0
+        m.reset_counters()
+        assert m.parallel_rounds == 0
+        m.close()
+
+
+class TestConcurrencyStress:
+    """The shared state the fan-out touches — the storage ledger and the
+    version clock — must survive genuinely concurrent access."""
+
+    def test_memmap_disjoint_gather_scatter_threads(self, tmp_path):
+        be = MemmapBackend(tmp_path)
+        data = be.allocate((8 * 1024, 4, 2), "stress")
+        want = np.arange(data.size, dtype=np.int64).reshape(data.shape)
+        shard = len(data) // 8
+        errors = []
+
+        def worker(i):
+            try:
+                lo, hi = i * shard, (i + 1) * shard
+                be.scatter(
+                    data, np.arange(lo, hi, dtype=np.int64), want[lo:hi]
+                )
+                got = be.gather(data, np.arange(lo, hi, dtype=np.int64))
+                assert np.array_equal(got, want[lo:hi])
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert np.array_equal(np.asarray(data), want)
+        be.close()
+
+    @pytest.mark.parametrize("backend_cls", [MemoryBackend, MemmapBackend])
+    def test_ledger_consistent_under_concurrent_alloc_release(
+        self, backend_cls, tmp_path
+    ):
+        be = (
+            backend_cls(tmp_path) if backend_cls is MemmapBackend else backend_cls()
+        )
+        errors = []
+
+        def churn():
+            try:
+                for _ in range(50):
+                    buf = be.allocate((4, 4, 2), "churn")
+                    be.release(buf)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=churn) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert be.live_bytes == 0
+        be.close()
+
+    def test_version_clock_never_tears_under_concurrency(self):
+        v = CiphertextVersions(64)
+        per_thread, threads_n = 200, 8
+
+        def bump():
+            idx = np.arange(64, dtype=np.int64)
+            for _ in range(per_thread // 2):
+                v.reencrypt_many(idx[:32])
+                v.reencrypt_range(32, 64)
+
+        threads = [threading.Thread(target=bump) for _ in range(threads_n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # Safety (not ordering): the clock advanced by exactly the total
+        # write count, and every version is a value the clock reached.
+        total = threads_n * per_thread * 32
+        assert v._clock == total
+        snap = v.snapshot()
+        assert snap.min() >= 1 and snap.max() <= total
+
+
+class TestServiceBatcherParity:
+    def test_coalesced_waves_identical_under_parallel_engine(self, tmp_path):
+        """The cross-session batcher observes identical positional stream
+        costs (same BatchReport) and each tenant's canonical transcript
+        is unchanged when sessions run with parallel_workers=4."""
+        from obliviousness import streamed_chain_workload
+        from repro.service import ObliviousService
+
+        def run(workers):
+            rng = np.random.default_rng(5)
+            chunks_a = streamed_chain_workload(rng)
+            chunks_b = streamed_chain_workload(rng)
+            cfg = EMConfig(
+                M=64,
+                B=4,
+                parallel_workers=workers,
+                parallel_min_blocks=1 if workers > 1 else None,
+            )
+            with ObliviousService(cfg) as svc:
+                sess_a = svc.session("tenant-a", seed=21)
+                sess_b = svc.session("tenant-b", seed=22)
+                plan_a = (
+                    sess_a.stream(chunks_a)
+                    .shuffle()
+                    .apply("mask", lo=2 * 10**5)
+                    .sort()
+                    .plan()
+                )
+                plan_b = (
+                    sess_b.stream(chunks_b)
+                    .shuffle()
+                    .apply("mask", lo=2 * 10**5)
+                    .sort()
+                    .plan()
+                )
+                _, report = svc.run_batch(
+                    [("a", "tenant-a", plan_a), ("b", "tenant-b", plan_b)]
+                )
+                return (
+                    report,
+                    sess_a.machine.trace.fingerprint(),
+                    sess_b.machine.trace.fingerprint(),
+                )
+
+        seq_report, seq_a, seq_b = run(1)
+        par_report, par_a, par_b = run(4)
+        assert par_report == seq_report
+        assert par_a == seq_a
+        assert par_b == seq_b
+
+
+class TestProcessModeDigest:
+    def test_digest_matches_in_process_and_is_worker_independent(
+        self, tmp_path
+    ):
+        """mode="process" mixes freshly written memmap shards in worker
+        processes; the folded digest must equal the single-process
+        computation and be independent of the worker count."""
+
+        def run(workers):
+            be = MemmapBackend(tmp_path / f"w{workers}")
+            m = EMMachine(
+                128,
+                4,
+                backend=be,
+                parallel_workers=workers,
+                parallel_mode="process",
+                parallel_min_blocks=1,
+            )
+            a = m.alloc(64, "a")
+            rng = np.random.default_rng(9)
+            blocks = rng.integers(0, 100, size=(64, 4, 2), dtype=np.int64)
+            expected = 0
+            m.write_many(a, (0, 64), blocks)
+            expected ^= mix_digest(np.asarray(a.raw[0:64]), 0)
+            m.write_many(
+                a,
+                np.array([3, 9, 57], dtype=np.int64),
+                np.zeros((3, 4, 2), dtype=np.int64),
+            )
+            expected ^= mix_digest(np.asarray(a.raw[3:58]), 0)
+            digest = m._parallel.mix_digest
+            m.close()
+            return digest, expected
+
+        d2, want2 = run(2)
+        d4, want4 = run(4)
+        assert d2 == want2
+        assert d4 == want4
+        assert d2 == d4
+
+    def test_memory_backend_skips_mixing(self):
+        m = EMMachine(
+            64,
+            4,
+            parallel_workers=2,
+            parallel_mode="process",
+            parallel_min_blocks=1,
+        )
+        a = m.alloc(8, "a")
+        m.write_many(a, (0, 8), np.ones((8, 4, 2), dtype=np.int64))
+        assert m._parallel.mix_digest == 0  # no backing file to mix
+        m.close()
+
+
+class TestSpanVsWork:
+    def test_span_scale_bounds(self):
+        for model in PAPER_BOUNDS:
+            assert span_scale(model, 1) == pytest.approx(1.0)
+            s4 = span_scale(model, 4)
+            assert 0.0 < s4 <= 1.0 or (
+                s4 == pytest.approx(1.0)
+                and PAPER_BOUNDS[model].parallel_fraction == 0.0
+            )
+        # Amdahl: sort's span shrinks with workers, floored by the
+        # serial fraction.
+        p = PAPER_BOUNDS["sort"].parallel_fraction
+        assert span_scale("sort", 4) == pytest.approx((1 - p) + p / 4)
+        assert estimate_span_ios("sort", 128, 32, workers=4) < estimate_ios(
+            "sort", 128, 32
+        )
+        assert estimate_span_ios("sort", 128, 32, workers=1) == estimate_ios(
+            "sort", 128, 32
+        )
+
+    def test_explain_prices_span_and_keeps_plan_choice_worker_independent(
+        self, tmp_path
+    ):
+        keys = np.random.default_rng(2).permutation(np.arange(256))
+
+        def explain(workers):
+            cfg = _config("memory", workers, tmp_path)
+            with ObliviousSession(cfg, seed=7) as s:
+                return s.dataset(keys).shuffle().sort().plan().explain(
+                    optimize=True
+                )
+
+        seq, par = explain(1), explain(4)
+        # The optimizer's choice (and the work column) must not depend
+        # on the worker count — otherwise traces would diverge.
+        assert [s.algorithm for s in seq.steps] == [s.algorithm for s in par.steps]
+        assert [s.est_ios for s in seq.steps] == [s.est_ios for s in par.steps]
+        assert seq.rewrites == par.rewrites
+        # Span: equal to work at 1 worker, strictly cheaper at 4.
+        assert seq.total_est_span_ios == pytest.approx(seq.total_est_ios)
+        assert par.total_est_span_ios < par.total_est_ios
+        assert par.parallel_workers == 4
+        assert "est span" in str(par)
+        assert "est span" not in str(seq)
