@@ -1,0 +1,133 @@
+"""The oblivious relational query pipeline: mask → join → group-by.
+
+Runs the layer's reference analytics query — filter one relation by a
+key window, equi-join it with a second relation, aggregate the joined
+values per key — as a single machine-resident plan, and measures:
+
+* modeled block I/Os per step (join's sort-merge over the tagged union
+  dominates) against the ``plan.explain()`` analytical estimates;
+* the selectivity-hiding property as a *measured* fact: the complete
+  transcript fingerprint is bit-identical across mask survivor counts,
+  so the artifact pins one fingerprint per shape;
+* wall time for the whole pipeline.
+
+``run_all.py`` calls :func:`run_query_benchmark`; with ``--json`` it
+writes ``BENCH_query.json`` for the cross-PR compare.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+
+from repro.api import EMConfig, ObliviousSession, RetryPolicy
+
+
+def _relations(n: int, survivors: int, seed: int):
+    """A left relation with exactly ``survivors`` keys inside the mask
+    window [0, 10**4) and a right relation over the same key space."""
+    rng = np.random.default_rng(seed)
+    key_space = max(4, n // 8)
+    keep = rng.integers(0, key_space, size=survivors)
+    drop = rng.integers(10**5, 10**5 + key_space, size=n - survivors)
+    left = np.stack(
+        [rng.permutation(np.concatenate([keep, drop])),
+         rng.integers(0, 10**6, size=n)],
+        axis=1,
+    ).astype(np.int64)
+    right = np.stack(
+        [rng.integers(0, key_space, size=n),
+         rng.integers(0, 10**6, size=n)],
+        axis=1,
+    ).astype(np.int64)
+    return left, right
+
+
+def _run_query(left, right, config, seed, retry):
+    with ObliviousSession(config, seed=seed, retry=retry) as session:
+        ds = (
+            session.dataset(left)
+            .apply("mask", hi=10**4)
+            .join(session.dataset(right), fanout=2, combine="product")
+            .group_by("sum")
+        )
+        explain = ds.explain()
+        result = ds.run()
+        return explain, result, session.machine.trace.fingerprint()
+
+
+def _reference(left, right, fanout):
+    """Plaintext answer: per-key sum of products over the first
+    ``fanout`` right matches of each surviving left row."""
+    rmap: dict = {}
+    for k, v in right:
+        rmap.setdefault(int(k), []).append(int(v))
+    groups: dict = {}
+    for k, v in left:
+        if not 0 <= k <= 10**4:
+            continue
+        for rv in rmap.get(int(k), [])[:fanout]:
+            groups[int(k)] = groups.get(int(k), 0) + int(v) * rv
+    return sorted(groups.items())
+
+
+def run_query_benchmark(smoke: bool, config, seed: int, json_dir) -> int:
+    """Measure the mask→join→group_by pipeline; 0 on success, 1 on
+    failure (mirrors the other ``run_all`` sub-benchmarks)."""
+    n = 256 if smoke else 1024
+    retry = RetryPolicy(max_attempts=8)
+    qcfg = EMConfig(M=config.M, B=config.B, backend=config.backend)
+    try:
+        start = time.perf_counter()
+        left, right = _relations(n, survivors=n // 4, seed=seed)
+        explain, result, fp = _run_query(left, right, qcfg, seed, retry)
+        wall = time.perf_counter() - start
+
+        got = sorted((int(k), int(v)) for k, v in result.records)
+        assert got == _reference(left, right, 2), "query returned wrong rows"
+
+        # Selectivity hiding, measured: a very different survivor count,
+        # same public shape -> bit-identical full transcript.
+        left2, right2 = _relations(n, survivors=n - n // 8, seed=seed + 1)
+        _, result2, fp2 = _run_query(left2, right2, qcfg, seed, retry)
+        assert fp == fp2, "query transcript leaked the mask survivor count"
+
+        est = {s.algorithm: s.est_ios for s in explain.steps}
+        meas = {s.algorithm: s.cost.total for s in result.steps}
+        ratios = {
+            a: max(est[a] / meas[a], meas[a] / est[a])
+            for a in ("join", "group_by")
+        }
+        total = sum(meas.values())
+        print(
+            f"\nquery mask→join→group_by (n={n}, fanout=2): {total} I/Os "
+            f"(join {meas['join']}, group_by {meas['group_by']}); "
+            f"est/meas ratio join {ratios['join']:.2f}, "
+            f"group_by {ratios['group_by']:.2f}; transcript invariant "
+            f"across selectivities; {wall:.2f}s"
+        )
+        if json_dir is not None:
+            artifact = {
+                "workload": "mask->join(fanout=2)->group_by(sum)",
+                "n": n,
+                "M": qcfg.M,
+                "B": qcfg.B,
+                "backend": qcfg.backend,
+                "seed": seed,
+                "total_ios": total,
+                "join_ios": meas["join"],
+                "group_by_ios": meas["group_by"],
+                "join_est_ratio": ratios["join"],
+                "group_by_est_ratio": ratios["group_by"],
+                "attempts": result.total.attempts,
+                "wall_seconds": wall,
+                "transcript_fingerprint": fp,
+            }
+            path = json_dir / "BENCH_query.json"
+            path.write_text(json.dumps(artifact, indent=2) + "\n")
+        return 0
+    except Exception as exc:  # noqa: BLE001 - report, then fail the run
+        print(f"\nquery benchmark FAILED: {exc}")
+        return 1

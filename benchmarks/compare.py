@@ -49,6 +49,15 @@ PARALLEL_METRICS = (
     "sequential_wall_seconds",
     "parallel_wall_seconds",
 )
+QUERY_METRICS = (
+    "total_ios",
+    "join_ios",
+    "group_by_ios",
+    "join_est_ratio",
+    "group_by_est_ratio",
+    "attempts",
+    "wall_seconds",
+)
 #: Artifacts with their own metric tables; everything else uses METRICS.
 #: A metric missing on either side (schema drift between PRs, or a brand
 #: new artifact like BENCH_oram.json on its first compare) is reported as
@@ -58,6 +67,7 @@ ARTIFACT_METRICS = {
     "oram": ORAM_METRICS,
     "service": SERVICE_METRICS,
     "parallel": PARALLEL_METRICS,
+    "query": QUERY_METRICS,
 }
 #: Deterministic metrics: any worsening is flagged regardless of threshold.
 EXACT = {
@@ -71,6 +81,8 @@ EXACT = {
     "streamed_peak_upload_records",
     "streamed_round_trips",
     "batch_shared_rounds",
+    "join_ios",
+    "group_by_ios",
 }
 #: Metrics where a *larger* value is the good direction (batch quality,
 #: parallel speedup).

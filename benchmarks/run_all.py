@@ -155,6 +155,27 @@ def build_workload(name: str, n: int, B: int, rng: np.random.Generator, M: int):
 
         return keys, {}, validate
 
+    if name == "join":
+        # Arity-2: the facade's single-input run() cannot build it — the
+        # dedicated query benchmark runs it through Dataset.join.
+        return None, "arity-2 (Dataset.join); covered by the query benchmark", None
+
+    if name in ("group_by", "group_by_sorted"):
+        kvals = rng.integers(0, max(2, n // 8), size=n)
+        if name == "group_by_sorted":
+            kvals = np.sort(kvals)
+        vals = rng.integers(0, 10**6, size=n)
+        data = np.stack([kvals, vals], axis=1).astype(np.int64)
+        expected = sorted(
+            (int(k), int(vals[kvals == k].sum())) for k in np.unique(kvals)
+        )
+
+        def validate(result):
+            got = sorted((int(k), int(v)) for k, v in result.records)
+            assert got == expected, "wrong group aggregates"
+
+        return data, {"agg": "sum"}, validate
+
     if name == "oram_read_batch":
         ranks = list(range(0, n, max(1, n // 16)))
 
@@ -260,11 +281,21 @@ def main(argv: list[str] | None = None) -> int:
     failures += run_oram_benchmark(args.smoke, args.seed, json_dir)
     failures += run_service_comparison(args.smoke, config, args.seed, json_dir)
     failures += run_parallel_comparison(args.smoke, args.seed, json_dir)
+    failures += run_query_benchmark_wrapper(args.smoke, config, args.seed, json_dir)
     if failures:
         print(f"\n{failures} algorithm(s) failed")
         return 1
     print("\nall registered algorithms ran clean through the facade")
     return 0
+
+
+def run_query_benchmark_wrapper(smoke: bool, config, seed: int, json_dir) -> int:
+    """Measure the relational mask→join→group_by pipeline and its
+    selectivity-hiding transcript invariance (``BENCH_query.json`` when
+    ``--json`` is active)."""
+    from bench_query import run_query_benchmark
+
+    return run_query_benchmark(smoke, config, seed, json_dir)
 
 
 def run_service_comparison(smoke: bool, config, seed: int, json_dir) -> int:

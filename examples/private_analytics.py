@@ -1,97 +1,131 @@
-"""Private analytics over outsourced records: one upload, one report.
+"""Private relational analytics: filter → join → group-by, one upload.
 
-A company keeps salary records on rented storage, encrypted.  It wants
-the median, the quartiles, and a sorted copy for archival — but running
-textbook quickselect on the server would let the provider watch the
-partition pattern and learn the distribution's shape.
+A company outsources two encrypted tables to rented storage: ``payroll``
+(one row per employee: department id → salary) and ``bonus`` (one row
+per department: department id → this quarter's bonus).  It wants total
+compensation per *operating* department — a key-range filter, an
+equi-join, and a group-by-sum — without the provider learning how many
+departments passed the filter, which employees matched, or how large
+any department is.
 
-The paper's algorithms answer with input-independent access patterns;
-the *pipeline API* composes them the way the paper intends: the table is
-uploaded once, every intermediate stays machine-resident, and each step
-retries its rare Las Vegas failures independently.  ``explain()`` prices
-the whole plan from the paper's bounds before a single block I/O is
-spent — compare the sort step's ``n·log_m n`` against the linear
-selection steps and you can see where the I/O budget will go.
+The relational layer answers with input-independent access patterns:
+
+* ``mask`` NULLs filtered-out rows in place of dropping them, so the
+  surviving count never becomes a public array size;
+* ``join`` sort-merges a tagged union of both tables, padded to the
+  public bound ``n_left·fanout + n_right`` — the match count stays
+  hidden;
+* ``group_by`` emits one record per distinct key inside a layout that
+  keeps the same public bound, so group count and group sizes stay
+  hidden too.
+
+``explain()`` prices the whole plan from the paper's bounds before a
+single block I/O is spent; the join's two Theorem-21 sorts dominate.
 
 Run:  python examples/private_analytics.py
 """
 
 import numpy as np
 
-from repro.api import EMConfig, ObliviousSession, get_algorithm, make_records
+from repro.api import EMConfig, ObliviousSession, RetryPolicy
+
+N_EMPLOYEES = 960
+N_DEPTS = 24
+OPERATING_MAX = 15  # departments 0..15 are operating, the rest wind down
+
+
+def build_tables(rng):
+    payroll = np.stack(
+        [
+            rng.integers(0, N_DEPTS, size=N_EMPLOYEES),
+            np.round(
+                rng.lognormal(mean=11.0, sigma=0.4, size=N_EMPLOYEES)
+            ).astype(np.int64),
+        ],
+        axis=1,
+    ).astype(np.int64)
+    bonus = np.stack(
+        [np.arange(N_DEPTS), rng.integers(1000, 5000, size=N_DEPTS)],
+        axis=1,
+    ).astype(np.int64)
+    return payroll, bonus
+
+
+def plaintext_reference(payroll, bonus):
+    bonus_of = dict(bonus.tolist())
+    totals: dict[int, int] = {}
+    for dept, salary in payroll:
+        if dept > OPERATING_MAX:
+            continue
+        comp = int(salary) + bonus_of[int(dept)]
+        totals[int(dept)] = totals.get(int(dept), 0) + comp
+    return sorted(totals.items())
 
 
 def main() -> None:
-    n = 1000
     rng = np.random.default_rng(42)
-    salaries = np.round(rng.lognormal(mean=11.0, sigma=0.4, size=n)).astype(np.int64)
-    table = make_records(salaries, values=np.arange(n))  # value = employee id
+    payroll, bonus = build_tables(rng)
 
-    with ObliviousSession(EMConfig(M=256, B=8), seed=100) as session:
-        # Build the plan DAG lazily: one shared shuffle feeds three
-        # consumers.  Nothing touches the machine yet.
-        staged = session.dataset(table).shuffle()
-        sorted_ds = staged.sort()          # archival copy (records out)
-        median_ds = staged.select(k=n // 2)
-        quartile_ds = staged.quantiles(q=3)
-        plan = session.plan(sorted_ds, median_ds, quartile_ds)
+    with ObliviousSession(
+        EMConfig(M=256, B=8), seed=100, retry=RetryPolicy(max_attempts=8)
+    ) as session:
+        # Build the plan lazily: filter payroll to operating departments,
+        # join each surviving employee with their department's bonus row
+        # (fanout=1: the bonus table has one row per key), then sum the
+        # combined compensation per department.  Nothing executes yet.
+        report = (
+            session.dataset(payroll)
+            .apply("mask", hi=OPERATING_MAX)
+            .join(session.dataset(bonus), fanout=1, combine="sum")
+            .group_by("sum")
+        )
 
         # Price it first — analytical estimates from the paper's bounds.
-        print(plan.explain())
+        print(report.explain())
         print()
 
-        # Then pay for it: one upload, four steps, one download.
-        result = plan.run()
+        # Then pay for it: two uploads (one per table), one download.
+        result = report.run()
 
-        median, _employee = result.steps[2].value
-        quartiles = result.steps[3].value
-        true_sorted = np.sort(salaries)
-        assert median == int(true_sorted[n // 2 - 1])
-        expected = [
-            int(true_sorted[max(1, min(n, round(i * n / 4))) - 1]) for i in (1, 2, 3)
-        ]
-        assert quartiles.tolist() == expected
-        assert np.array_equal(result.records[:, 0], true_sorted)
+        got = sorted((int(k), int(v)) for k, v in result.records)
+        assert got == plaintext_reference(payroll, bonus)
 
-        print(f"median salary: {median}")
-        print(f"quartiles: {quartiles.tolist()}")
-        print(f"sorted archive: {len(result.records)} records downloaded")
+        print(f"per-department totals: {len(got)} departments")
+        for dept, total in got[:4]:
+            print(f"  dept {dept:>2}: {total}")
+        print("  ...")
         print()
         for step in result.steps:
             print(f"  step {step.step} {step.algorithm:>9}: {step.cost}")
-        # The per-call facade would pay one upload per call, plus one
-        # download per record-producing call (value calls return no records).
-        facade_uploads = len(result.steps)
-        facade_downloads = sum(
-            1 for s in result.steps
-            if get_algorithm(s.algorithm).output == "records"
-        )
         print(
             f"\npipeline total: {result.total.total} I/Os in "
-            f"{result.loads} upload and {result.extracts} download "
-            f"(the per-call facade would have paid {facade_uploads} uploads "
-            f"and {facade_downloads} downloads)"
+            f"{result.loads} uploads and {result.extracts} download; "
+            f"the transcript depends only on the public shapes "
+            f"({N_EMPLOYEES}, {N_DEPTS}, fanout=1) and the seed — rerun "
+            "with any other salaries, department assignments, or filter "
+            "survivors and the provider sees the identical access pattern "
+            "(up to the documented rare Las Vegas retry, itself "
+            "data-independent per attempt)"
         )
-        print(f"session so far: {session.cost_summary()}")
 
-    # The cost-based optimizer, on the same workload: the shared shuffle
-    # feeds only permutation-invariant consumers (sort, select,
-    # quantiles), so it is dead work, and the sort picks its cheapest
-    # oblivious variant at this shape.  (select/quantiles keep their
-    # sampling form — in this DAG they read the *unsorted* source, not
-    # the sort's output; chain them after .sort() and they collapse to
-    # one deterministic ranked scan each.)  explain() shows every rule
-    # it fired with before/after estimated I/O, and the outputs stay
-    # byte-identical.
-    with ObliviousSession(EMConfig(M=256, B=8), seed=100) as session:
-        staged = session.dataset(table).shuffle()
-        plan = session.plan(
-            staged.sort(), staged.select(k=n // 2), staged.quantiles(q=3)
-        )
+    # The cost-based optimizer on a dense relational chain: group_by
+    # after an explicit sort elides its internal sort, collapsing to the
+    # two fixed group_scan passes — byte-identical output, a fraction of
+    # the I/O.  (The padded chain above runs verbatim: padded layouts
+    # hand their exact geometry downstream, so rewrites are fenced off.)
+    with ObliviousSession(
+        EMConfig(M=256, B=8), seed=100, retry=RetryPolicy(max_attempts=8)
+    ) as session:
+        plan = session.dataset(payroll).sort().group_by("sum").plan()
         print()
         print(plan.explain(optimize=True))
         opt = plan.run(optimize=True)
-        assert np.array_equal(opt.records[:, 0], np.sort(salaries))
+        plain_totals: dict[int, int] = {}
+        for dept, salary in payroll:
+            plain_totals[int(dept)] = plain_totals.get(int(dept), 0) + int(salary)
+        assert sorted((int(k), int(v)) for k, v in opt.records) == sorted(
+            plain_totals.items()
+        )
         print(
             f"\noptimized: {opt.total.total} I/Os "
             f"({', '.join(s.algorithm for s in opt.steps)})"

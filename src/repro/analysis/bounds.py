@@ -83,6 +83,17 @@ def _r_blocks(n: int, params: Mapping) -> int:
     return int(params.get("_r_blocks", n))
 
 
+def _rhs(n: int, params: Mapping) -> int:
+    """Right-relation size in blocks for the arity-2 bounds (injected by
+    the estimate plumbing as ``_rhs_blocks``; defaults to ``n``)."""
+    return max(1, int(params.get("_rhs_blocks", n)))
+
+
+def _union(n: int, params: Mapping) -> int:
+    """Tagged-union size ``u = k·n + r`` the join sorts and scans."""
+    return max(1, int(params.get("fanout", 1))) * n + _rhs(n, params)
+
+
 #: Calibrated leading constants (implementation-measured; the paper gives
 #: only asymptotics).  Measured per-block constants across the reference
 #: shapes (M=64,B=4,n=512 … M=256,B=8,n=2048): compact 16–26, select and
@@ -204,6 +215,44 @@ PAPER_BOUNDS: dict[str, IOBound] = {
             )
         ),
         feasible=lambda n, m, params: 4 * _r_blocks(n, params) <= n,
+    ),
+    "join": IOBound(
+        name="join",
+        source="sort-merge equi-join over a tagged union (Theorem 21 ×2)",
+        formula="c·(r·log_m r + u·log_m u) + O(u), u = k·n + r",
+        # Sort the right relation (r blocks), tag it in one scan (2·r),
+        # expand the left k-fold into the union (reads n, writes k·n),
+        # sort the union of u = k·n + r blocks, then one match scan that
+        # reads u and writes the padded output (≤ u blocks).  Both sorts
+        # pay the Theorem 21 constant; the scans are exact.
+        estimate=lambda n, m, params: (
+            _C_SORT
+            * (
+                _rhs(n, params) * _logm(_rhs(n, params), m)
+                + _union(n, params) * _logm(_union(n, params), m)
+            )
+            + 2.0 * _rhs(n, params)
+            + (1.0 + int(params.get("fanout", 1))) * n
+            + 4.0 * _union(n, params)
+        ),
+    ),
+    "group_by": IOBound(
+        name="group_by",
+        source="Theorem 21 sort + two fixed-schedule scans",
+        formula="c·n·log_m n + 4·n",
+        # One oblivious sort groups equal keys into runs; a forward scan
+        # (read+write) carries the running aggregate across chunk
+        # boundaries, and a backward scan (read+write) keeps only each
+        # run's last row.  Output stays padded at the public n blocks.
+        estimate=lambda n, m, params: _C_SORT * n * _logm(n, m) + 4.0 * n,
+    ),
+    "group_by_scan": IOBound(
+        name="group_by_scan",
+        source="two fixed-schedule scans (sorted input)",
+        formula="4·n",
+        # Exact: the forward aggregate pass and the backward last-of-run
+        # pass each read and write every block once.
+        estimate=lambda n, m, params: 4.0 * n,
     ),
     "oram_read_batch": IOBound(
         name="oram_read_batch",

@@ -72,7 +72,7 @@ from repro.api.optimizer import (
 )
 from repro.api.registry import AlgorithmSpec
 from repro.api.result import CostReport, PlanResult, StepResult
-from repro.em.block import occupancy
+from repro.em.block import is_empty, occupancy
 from repro.em.storage import EMArray
 from repro.errors import LasVegasFailure, RetryExhausted
 
@@ -181,6 +181,62 @@ class Executor:
 
     # -- internals ---------------------------------------------------------
 
+    def _stage_source(self, source: dict, name: str) -> EMArray:
+        """Stage one pending payload as a step input array.
+
+        First client staging is the plan's upload (one-shot or chunk-
+        scheduled for streams); every later staging is a server-local
+        :meth:`~repro.em.machine.EMMachine.stage_records`.  Decrements
+        the payload's consumer count; the caller drops the pending entry
+        once it hits zero."""
+        machine = self.session.machine
+        stream = source.get("stream")
+        if source["client"]:
+            if stream is not None:
+                # The chunked upload: one ALLOC of the public total
+                # (identical to a one-shot load_records of the padded
+                # records), then one untraced client round trip per
+                # scheduled chunk.
+                A = machine.begin_chunked_load(stream.n_items, name)
+                for offset, chunk in stream.padded_chunks():
+                    machine.load_chunk(A, offset, chunk)
+            else:
+                A = machine.load_records(source["records"], name)
+            source["client"] = False  # later consumers stage server-side
+        else:
+            A = machine.stage_records(source["records"], name)
+        if (
+            stream is not None
+            and source["remaining"] > 1
+            and source["records"] is None
+        ):
+            # Fan-out from a stream source: later consumers re-stage
+            # the padded layout server-side, exactly like a client
+            # source's later consumers.
+            source["records"] = stream.materialize()
+        source["remaining"] -= 1
+        return A
+
+    @staticmethod
+    def _is_padded(source: dict | None) -> bool:
+        """Padded payloads: everything downstream of a ``padded_output``
+        step — their ``n`` is the public layout bound, privately above
+        the real record count.  Streamed sources are *not* padded (their
+        layout has NULL holes, but ``n`` is still the exact count)."""
+        if source is None:
+            return False
+        return bool(source.get("padded"))
+
+    @staticmethod
+    def _is_holey(source: dict | None) -> bool:
+        """May the staged layout contain NULL holes at all?  True for
+        padded payloads and for streamed sources (short chunks pad to
+        the block grid) — the inputs a rank-semantics algorithm would
+        miscount."""
+        if source is None:
+            return False
+        return bool(source.get("padded")) or source.get("stream") is not None
+
     def _schedule_steps(
         self, plan: "Plan", sched: OptimizedPlan, base_calls: int
     ) -> Iterator[StepResult]:
@@ -232,52 +288,50 @@ class Executor:
             call_index = base_calls + step.slot
             session._calls = base_calls + step.slot_end + 1
             source = pending[step.input_id]
-            stream = source.get("stream")
-            if stream is not None and not spec.null_tolerant:
+            rhs_source = (
+                pending[step.rhs_id] if step.rhs_id is not None else None
+            )
+            padded_in = self._is_padded(source) or self._is_padded(rhs_source)
+            holey_in = self._is_holey(source) or self._is_holey(rhs_source)
+            if holey_in and not spec.null_tolerant:
                 # Defensive twin of the Dataset.apply gate, for plans
                 # (or optimizer schedules) built around it.
                 raise TypeError(
                     f"{spec.name!r} is not null-tolerant and cannot "
-                    "consume a streamed source (its n_items is the "
-                    "padded public total)"
+                    "consume a padded layout — a streamed source, or "
+                    "anything downstream of mask/join/group_by (its "
+                    "n_items is the padded public bound)"
                 )
-            if source["client"]:
-                if stream is not None:
-                    # The chunked upload: one ALLOC of the public total
-                    # (identical to a one-shot load_records of the
-                    # padded records), then one untraced client round
-                    # trip per scheduled chunk.
-                    A = machine.begin_chunked_load(
-                        stream.n_items, f"{spec.name}{call_index}"
-                    )
-                    for offset, chunk in stream.padded_chunks():
-                        machine.load_chunk(A, offset, chunk)
-                else:
-                    A = machine.load_records(
-                        source["records"], f"{spec.name}{call_index}"
-                    )
-                source["client"] = False  # later consumers stage server-side
-            else:
-                A = machine.stage_records(
-                    source["records"], f"{spec.name}{call_index}"
+            # The right-hand relation (arity-2 steps) is staged *before*
+            # the step runs, so a Las Vegas retry — which frees only
+            # arrays allocated after the attempt started — leaves it in
+            # place for the next attempt.
+            rhs_array = rhs_n = None
+            if rhs_source is not None:
+                rhs_array = self._stage_source(
+                    rhs_source, f"{spec.name}{call_index}.rhs"
                 )
-            if (
-                stream is not None
-                and source["remaining"] > 1
-                and source["records"] is None
-            ):
-                # Fan-out from a stream source: later consumers re-stage
-                # the padded layout server-side, exactly like a client
-                # source's later consumers.
-                source["records"] = stream.materialize()
+                rhs_n = rhs_source["n"]
+                if rhs_source["remaining"] == 0:
+                    del pending[step.rhs_id]
+            A = self._stage_source(source, f"{spec.name}{call_index}")
             n_items = source["n"]
-            source["remaining"] -= 1
             if source["remaining"] == 0:
                 del pending[step.input_id]
+            run_params = dict(step.params)
+            if rhs_array is not None:
+                run_params["_rhs"] = rhs_array
+                run_params["_rhs_n"] = rhs_n
+            if spec.pad_aware:
+                # Public fact (a function of plan structure alone): the
+                # kernel conditions its padding-repair passes on it.
+                run_params["_padded"] = padded_in
             A, out, cost, before = self._run_step(
-                spec, A, n_items, step.params, call_index
+                spec, A, n_items, run_params, call_index
             )
             session._note_step(cost)
+            if rhs_array is not None:
+                machine.free(rhs_array)
             # Free the attempt's scratch: everything it allocated except
             # the output array.
             keep = {out.array.array_id} if out.array is not None else set()
@@ -299,21 +353,33 @@ class Executor:
                 # verbatim plan's accounting) but they share these bytes
                 # in this single StepResult.
                 downloads = sched.extracts.get(step.out_id, 0)
+                # Sticky padding: once any ancestor introduced data-
+                # dependent NULL padding, every later handoff keeps the
+                # full public layout — repacking to the surviving count
+                # here is exactly the selectivity leak.
+                padded_out = padded_in or spec.padded_output
                 if remaining:
                     # Server-local handoff: pack the intermediate; each
                     # consumer's input is staged from it lazily, just
                     # before that consumer runs — no client round trip.
                     packed = machine.repack_resident(
-                        out.array, f"{spec.name}{call_index}.out"
+                        out.array,
+                        f"{spec.name}{call_index}.out",
+                        keep_layout=padded_out,
                     )
                     pending[step.out_id] = {
                         "records": packed,
                         "n": len(packed),
                         "client": False,
                         "remaining": remaining,
+                        "padded": padded_out,
                     }
                     if downloads:
-                        records = packed.copy()
+                        records = (
+                            packed[~is_empty(packed)].copy()
+                            if padded_out
+                            else packed.copy()
+                        )
                         machine.client_extracts += downloads
                 elif downloads:
                     # Terminal record output: the server→client extract.

@@ -35,7 +35,10 @@ justified by a declared algebraic property on the
    how ``compact`` picks loose, sparse-IBLT, or log* paths only where
    the paper's hypotheses hold), and — if it weakens the output-order
    contract, like loose compaction — feed only permutation-invariant
-   consumers and no step whose elision relied on that order.
+   consumers and no step whose elision relied on that order.  Padded
+   inputs (downstream of mask/join/group_by, or a direct stream) fence
+   substitution off entirely: a padded layout hands its exact geometry
+   downstream, which variants do not promise to reproduce.
 4. **Fuse adjacent scans** (``fuse-scans``): a run of
    ``fusible_scan`` steps, each the sole consumer of its predecessor,
    collapses into one :func:`~repro.api.registry.run_scan_stages` pass
@@ -130,6 +133,9 @@ class ExecStep:
     blocks: int  #: estimated input layout size in blocks
     r_blocks: int  #: public occupied-block capacity at this step
     est_ios: float | None  #: analytical block-I/O estimate (None: no model)
+    #: id() of the effective right-hand producer node for arity-2 steps
+    #: (joins); ``None`` for ordinary single-input steps.
+    rhs_id: int | None = None
 
     @property
     def rewritten(self) -> bool:
@@ -225,6 +231,20 @@ def _model_est(
     return float(bound.estimate(n, m, p))
 
 
+def _est_params(node: "PlanNode", n_of: dict, layout_of: dict) -> dict:
+    """A node's params augmented, for arity-2 steps, with the estimated
+    right-hand size (``_rhs_n_items``/``_rhs_blocks``) — consumed by
+    ``out_items`` rules and the ``join`` cost bound, never by runners
+    (the executor passes the clean ``step.params`` plus staged arrays).
+    """
+    p = dict(node.params)
+    if len(node.inputs) > 1:
+        rhs = node.inputs[1]
+        p["_rhs_n_items"] = n_of[id(rhs)]
+        p["_rhs_blocks"] = layout_of[id(rhs)]
+    return p
+
+
 def _effective_order(spec: AlgorithmSpec, in_order: str | None) -> str | None:
     if spec.output_order == "same":
         return in_order
@@ -248,6 +268,12 @@ def _fused_spec(members: list[tuple[AlgorithmSpec, dict]]) -> AlgorithmSpec:
         output="records",
         cost_model="scan",
         output_order="same",
+        # The fused pass inherits the members' data contracts: it
+        # tolerates NULL padding only if every member does, and its
+        # output is padded if any member's is (a fused mask must not
+        # reopen the selectivity leak its standalone spec closes).
+        null_tolerant=all(spec.null_tolerant for spec, _ in members),
+        padded_output=any(spec.padded_output for spec, _ in members),
     )
 
 
@@ -268,9 +294,14 @@ def _build(
     # -- size propagation (estimates; the executor measures at run time) --
     n_of: dict[int, int] = {}
     layout_of: dict[int, int] = {}
+    padded_of: dict[int, bool] = {}  # sticky data-dependent NULL padding
     for node in nodes:
         if node.is_source:
             n_of[id(node)] = node.n_items
+            # Streamed sources have NULL *holes* (short chunks pad to the
+            # block grid) but an exact n — not padded in the sticky
+            # sense; `_holey` below adds them for the variant fence.
+            padded_of[id(node)] = False
             if node.stream is not None:
                 # Streamed source: the server array is provisioned for
                 # the public schedule total (n_items *is* that total).
@@ -282,10 +313,13 @@ def _build(
         else:
             spec = get_spec(node.op)
             n_out = spec.estimate_out_items(
-                n_of[id(node.inputs[0])], dict(node.params)
+                n_of[id(node.inputs[0])], _est_params(node, n_of, layout_of)
             )
             n_of[id(node)] = n_out
             layout_of[id(node)] = ceil_div(max(1, n_out), B)
+            padded_of[id(node)] = spec.padded_output or any(
+                padded_of[id(p)] for p in node.inputs
+            )
 
     def sizes_at(input_node: "PlanNode") -> tuple[int, int, int]:
         """(n_items, layout blocks, occupied-block capacity r) of a step
@@ -307,6 +341,15 @@ def _build(
             node = node.inputs[0]
         return node
 
+    def holey_inputs(node: "PlanNode") -> bool:
+        """Any effective input padded (downstream of mask/join/group_by)
+        or a stream feeding the step directly after drops/elisions."""
+        return any(
+            padded_of[id(p)]
+            or ((rp := resolve(p)).is_source and rp.stream is not None)
+            for p in node.inputs
+        )
+
     def final_spec(node: "PlanNode") -> AlgorithmSpec:
         return subst.get(id(node)) or get_spec(node.op)
 
@@ -323,7 +366,7 @@ def _build(
 
     def node_est(node: "PlanNode", spec: AlgorithmSpec) -> float | None:
         n_in, blocks, r = sizes_at(resolve(node.inputs[0]))
-        return _model_est(spec, blocks, m, node.params, r)
+        return _model_est(spec, blocks, m, _est_params(node, n_of, layout_of), r)
 
     # -- rule 1: drop redundant shuffles (reverse topo, so drops cascade) --
     if optimize:
@@ -396,6 +439,12 @@ def _build(
             and spec.output_order == "sorted"
             and spec.output == "records"
             and in_order == "sorted"
+            # A padded layout hands its exact geometry (size and hole
+            # pattern) to its consumers via the keep-layout repack, and
+            # the sort's output geometry differs from its input's — so on
+            # a padded input only a *terminal* sort may be elided (its
+            # download filters NULLs, so the records are unchanged).
+            and not (holey_inputs(node) and cons_orig[id(node)])
         ):
             elided.add(id(node))
             order1[id(node)] = "sorted"
@@ -439,12 +488,14 @@ def _build(
             base_est = node_est(node, spec)
             best, best_est = spec, base_est
             if base_est is not None:
+                in_padded = holey_inputs(node)
                 for vname in spec.variants:
                     v = get_spec(vname)
                     if v.name == spec.name:
                         continue
                     if not _variant_legal(
-                        spec, v, node, in_order, pinned, final_consumers
+                        spec, v, node, in_order, in_padded, pinned,
+                        final_consumers,
                     ):
                         continue
                     v_est = node_est(node, v)
@@ -530,6 +581,7 @@ def _build(
             slots = [slot_of[id(c)] for c in chain]
             note = "fused " + "+".join(covers)
             inp = resolve(chain[0].inputs[0])
+            est_p = params
         else:
             spec = final_spec(node)
             params = dict(node.params)
@@ -537,6 +589,8 @@ def _build(
             slots = [slot_of[nid]]
             note = f"was {node.op}" if nid in subst else None
             inp = resolve(node.inputs[0])
+            est_p = _est_params(node, n_of, layout_of)
+        rhs = resolve(node.inputs[1]) if len(node.inputs) > 1 else None
         n_in, blocks, r = sizes_at(inp)
         schedule.append(ExecStep(
             spec=spec,
@@ -550,12 +604,15 @@ def _build(
             n_items=n_in,
             blocks=blocks,
             r_blocks=r,
-            est_ios=_model_est(spec, blocks, m, params, r),
+            est_ios=_model_est(spec, blocks, m, est_p, r),
+            rhs_id=id(rhs) if rhs is not None else None,
         ))
 
     consumers_cnt: dict[int, int] = {}
     for step in schedule:
         consumers_cnt[step.input_id] = consumers_cnt.get(step.input_id, 0) + 1
+        if step.rhs_id is not None:
+            consumers_cnt[step.rhs_id] = consumers_cnt.get(step.rhs_id, 0) + 1
 
     extracts: dict[int, int] = {}
     for node in algo_nodes:
@@ -585,6 +642,7 @@ def _variant_legal(
     v: AlgorithmSpec,
     node: "PlanNode",
     in_order: str | None,
+    in_padded: bool,
     pinned: set[int],
     final_consumers,
 ) -> bool:
@@ -594,6 +652,16 @@ def _variant_legal(
     if v.output != orig.output:
         return False
     if v.requires_input_order is not None and v.requires_input_order != in_order:
+        return False
+    if in_padded:
+        # A padded layout (stream, or downstream of mask/join/group_by)
+        # hands its exact geometry downstream: the executor's keep-layout
+        # repack preserves layout size and hole pattern so the surviving
+        # count stays hidden.  Variants only promise the same *records*,
+        # never the same padded geometry (bitonic_sort pads to a power of
+        # two, group_by inherits its sort's extra block), so substituting
+        # one would silently change every downstream step's transcript.
+        # Dense segments rewrite freely; padded segments run verbatim.
         return False
     if orig.output == "records" and v.output_order != orig.output_order:
         # The contracts differ (note: ``"same"`` on an unknown-order

@@ -62,6 +62,28 @@ __all__ = [
 _NODE_SEQ = itertools.count()
 
 
+def _node_padded(node: "PlanNode") -> bool:
+    """Is ``node``'s real record count privately *below* its public bound?
+
+    The property is *sticky*: specs with ``padded_output`` introduce it
+    (masking scans, joins, group-by — their surviving counts are data
+    dependent), and any padded ancestor keeps the flag — no later step
+    may re-derive a public size from the private surviving count, or the
+    selectivity would leak.  Only terminal client extraction (which
+    filters NULLs client-side) ever sees the real count.
+
+    Streamed sources are *not* padded in this sense: their staged layout
+    has NULL holes (short chunks pad to the block grid) but the declared
+    ``n_items`` is still the exact real count, so any step's dense
+    repack clears the holes without revealing anything.
+    """
+    if node.is_source:
+        return False
+    if get_spec(node.op).padded_output:
+        return True
+    return any(_node_padded(parent) for parent in node.inputs)
+
+
 @dataclass(frozen=True, eq=False)
 class PlanNode:
     """One immutable node of a plan DAG.
@@ -135,26 +157,33 @@ class Dataset:
     def apply(self, algorithm: str, **params: Any) -> "Dataset":
         """Append a registered ``algorithm`` to this handle's lineage."""
         spec = get_spec(algorithm)  # unknown names raise KeyError eagerly
+        if spec.arity != 1:
+            raise TypeError(
+                f"{algorithm!r} takes {spec.arity} input relations — "
+                "build it with Dataset.join(other, ...)"
+            )
         parent = self.node
         if parent.op is not None and get_spec(parent.op).output == "value":
             raise TypeError(
                 f"cannot chain {algorithm!r} after value-producing "
                 f"{parent.op!r} — value steps are terminal"
             )
-        if (
-            parent.is_source
-            and parent.stream is not None
-            and not spec.null_tolerant
-        ):
-            # A stream's staged layout carries NULL padding up to the
-            # public schedule total; rank-semantics algorithms would
-            # count the padding.  Interpose a null-tolerant step (e.g.
-            # ``.compact()`` or ``.sort()``) first.
+        holey = parent.is_source and parent.stream is not None
+        if not spec.null_tolerant and (holey or _node_padded(parent)):
+            # Two layouts carry NULL padding a rank-semantics algorithm
+            # would miscount.  A stream's staged layout pads short
+            # chunks to the block grid (cleared by any intermediate
+            # step's dense repack — chain sort/compact/shuffle first).
+            # Anything downstream of mask/join/group_by is padded up to
+            # a *public bound* above the private surviving count, and
+            # that padding is sticky — nothing ever re-derives a public
+            # size from the private count, or the selectivity would
+            # leak.
             raise TypeError(
                 f"{algorithm!r} is not null-tolerant and cannot consume a "
-                "streamed source directly — its n_items is the padded "
-                "public total; chain a null-tolerant step "
-                "(sort/compact/shuffle/mask) in between"
+                "padded layout (a streamed source, or anything downstream "
+                "of mask/join/group_by) — its n_items is the padded "
+                "public bound, not the real record count"
             )
         node = PlanNode(
             op=spec.name,
@@ -162,6 +191,54 @@ class Dataset:
             inputs=(parent,),
         )
         return Dataset(self._session, node)
+
+    def join(
+        self,
+        other: "Dataset | Any",
+        *,
+        fanout: int = 1,
+        combine: str = "sum",
+        **params: Any,
+    ) -> "Dataset":
+        """Oblivious equi-join with ``other`` (the right-hand relation).
+
+        ``fanout`` is the declared *public* bound on matches per key on
+        the right (rows beyond it are obliviously dropped, never
+        revealed); ``combine`` names how matched values merge (see
+        :data:`repro.relational.join.COMBINES`).  The output is padded
+        to the public bound ``n_left*fanout + n_right``, so the join's
+        selectivity stays hidden — and, being padded, only
+        null-tolerant steps may consume it.
+
+        ``other`` may be another :class:`Dataset` of the same session
+        or raw client data (wrapped into a source automatically).
+        This is the plan layer's first two-relation node: the executor
+        stages the right input alongside the left.
+        """
+        if not isinstance(other, Dataset):
+            other = make_source(self._session, other)
+        if other._session is not self._session:
+            raise ValueError("join inputs must share one session")
+        for node, side in ((self.node, "left"), (other.node, "right")):
+            if node.op is not None and get_spec(node.op).output == "value":
+                raise TypeError(
+                    f"cannot join on the {side} of value-producing "
+                    f"{node.op!r} — value steps are terminal"
+                )
+        node = PlanNode(
+            op="join",
+            params=dict(params, fanout=fanout, combine=combine),
+            inputs=(self.node, other.node),
+        )
+        return Dataset(self._session, node)
+
+    def group_by(self, agg: str = "sum", **params: Any) -> "Dataset":
+        """Oblivious group-by-aggregate: one output record ``(key,
+        aggregate)`` per distinct key, padded to the input's public
+        bound so group counts and sizes stay hidden.  ``agg`` is one of
+        :data:`repro.relational.groupby.AGGREGATES` (sum/count/min/max).
+        """
+        return self.apply("group_by", agg=agg, **params)
 
     @classmethod
     def from_chunks(

@@ -47,6 +47,8 @@ from repro.em.block import NULL_KEY, is_empty
 from repro.em.machine import EMMachine
 from repro.em.storage import EMArray
 from repro.oram.square_root import SquareRootORAM
+from repro.relational.groupby import group_by_em, group_by_sorted_em
+from repro.relational.join import equi_join_em
 from repro.util.mathx import ceil_div
 
 __all__ = [
@@ -175,6 +177,30 @@ class AlgorithmSpec:
         only null-tolerant algorithms may consume a stream directly.
         Rank-semantics algorithms (selection, quantiles, ORAM reads)
         would count the padding and must declare ``False``.
+    ``padded_output``
+        The output layout may contain NULL padding whose real-record
+        count is *data-dependent* (masking scans, joins, group-by).
+        The executor hands such outputs downstream at their full public
+        layout size instead of repacking to the surviving count — the
+        selectivity-hiding contract — and the plan layer keeps the
+        "padded" property sticky through every later step (nothing
+        short of terminal client extraction sees the real count).
+        Consequently only ``null_tolerant`` steps may consume a padded
+        intermediate, mirroring the streamed-source rule.
+    ``arity``
+        Number of input relations (1, or 2 for joins).  Arity-2 steps
+        receive the staged second input as ``params["_rhs"]`` /
+        ``params["_rhs_n"]`` from the executor and are built via
+        :meth:`repro.api.plan.Dataset.join`, never bare ``apply``.
+    ``pad_aware``
+        The runner accepts the executor-injected ``params["_padded"]``
+        flag — a *public* fact of plan structure saying the input's real
+        count may sit below the declared ``n_items`` (it is downstream
+        of a ``padded_output`` step) — and conditions a fixed
+        padding-repair pass on it (see ``oblivious_sort``'s padded
+        mode).  Null-tolerance alone is not enough for rank-arithmetic
+        steps like sorting: they tolerate NULL *holes*, but their pivot
+        targets assume ``n_items`` is exact.
     """
 
     name: str
@@ -194,6 +220,9 @@ class AlgorithmSpec:
     requires_input_order: str | None = None
     variants: tuple[str, ...] = ()
     null_tolerant: bool = False
+    padded_output: bool = False
+    arity: int = 1
+    pad_aware: bool = False
     #: Optional output-size rule ``(n_items, params) -> int``; when absent
     #: the default is "record count preserved" (or 0 for value outputs).
     out_items: Callable[[int, dict], int] | None = None
@@ -203,6 +232,10 @@ class AlgorithmSpec:
             raise ValueError(
                 f"output must be 'records' or 'value', got {self.output!r}"
             )
+        if self.arity not in (1, 2):
+            raise ValueError(f"arity must be 1 or 2, got {self.arity!r}")
+        if self.padded_output and self.output != "records":
+            raise ValueError("padded_output only applies to record outputs")
         if self.output_order not in _ORDERS:
             raise ValueError(
                 f"output_order must be one of {_ORDERS}, got {self.output_order!r}"
@@ -352,19 +385,18 @@ def _run_mask(machine, A, n_items, rng, params) -> AlgorithmOutput:
     """Oblivious filter scan: records with key outside ``[lo, hi]`` become
     ``NULL``.
 
-    The scan itself is oblivious — one fixed read+write pass, layout
-    preserved, the surviving count detectable only under the encryption.
-    But the *count* of survivors is data-dependent, and in this library
-    sizes are public per step (every call's ``n_items`` is public
-    metadata, exactly as in the paper): compose ``mask`` with a further
-    step — facade or pipeline, optimized or not — and the intermediate
-    repack sizes the next step by the surviving count, so the server
-    learns the selectivity.  This mirrors the paper's own marking scans,
-    whose private counts are only re-hidden by compacting to a *public*
-    capacity bound.  Selectivity-hiding composition (upper-bound
-    ``n_items`` threading through NULL-tolerant kernels) is future work;
-    see the adversary-view tests in ``tests/test_obliviousness.py`` which
-    pin both halves of this contract.
+    One fixed read+write pass, layout preserved: the surviving count is
+    detectable only under the encryption.  The spec declares
+    ``padded_output=True``, so composition keeps it that way — every
+    downstream step is sized by the *public layout bound* rather than
+    the surviving count (the executor hands the full padded layout
+    onward; only null-tolerant steps may consume it).  This mirrors the
+    paper's marking scans, whose private counts are re-hidden by
+    compacting to a public capacity bound.  The adversary-view tests in
+    ``tests/test_obliviousness.py`` pin the contract:
+    ``test_mask_selectivity_is_public_when_composed`` asserts a
+    mask→sort chain's transcript is bitwise-invariant across inputs
+    with different surviving counts.
     """
     kparams = {"lo": params.pop("lo", None), "hi": params.pop("hi", None)}
     _done("mask", params)
@@ -384,14 +416,68 @@ def _run_scale_values(machine, A, n_items, rng, params) -> AlgorithmOutput:
 
 
 # ---------------------------------------------------------------------------
+# Relational runners (kernels in repro.relational)
+# ---------------------------------------------------------------------------
+
+
+def _run_join(machine, A, n_items, rng, params) -> AlgorithmOutput:
+    """Oblivious equi-join with the staged right-hand relation.
+
+    ``_rhs``/``_rhs_n`` are injected by the pipeline executor (the step
+    is arity-2; see :meth:`repro.api.plan.Dataset.join`).  ``fanout`` is
+    the *public* bound on matches per key on the right; ``combine``
+    names how matched values merge (see
+    :data:`repro.relational.join.COMBINES`).  Output is padded to the
+    public bound ``n*fanout + rhs_n`` — match counts stay hidden.
+    """
+    rhs = params.pop("_rhs")
+    rhs_n = params.pop("_rhs_n")
+    padded = params.pop("_padded", False)
+    fanout = params.pop("fanout", 1)
+    combine = params.pop("combine", "sum")
+    _done("join", params)
+    return AlgorithmOutput(
+        array=equi_join_em(
+            machine,
+            A,
+            n_items,
+            rhs,
+            rhs_n,
+            rng,
+            fanout=fanout,
+            combine=combine,
+            padded=padded,
+        )
+    )
+
+
+def _run_group_by(machine, A, n_items, rng, params) -> AlgorithmOutput:
+    agg = params.pop("agg", "sum")
+    padded = params.pop("_padded", False)
+    _done("group_by", params)
+    return AlgorithmOutput(
+        array=group_by_em(machine, A, n_items, rng, agg=agg, padded=padded)
+    )
+
+
+def _run_group_by_sorted(machine, A, n_items, rng, params) -> AlgorithmOutput:
+    agg = params.pop("agg", "sum")
+    _done("group_by_sorted", params)
+    return AlgorithmOutput(array=group_by_sorted_em(machine, A, n_items, agg=agg))
+
+
+# ---------------------------------------------------------------------------
 # Built-in entries
 # ---------------------------------------------------------------------------
 
 
 def _run_sort(machine, A, n_items, rng, params) -> AlgorithmOutput:
+    padded = params.pop("_padded", False)
     _done("sort", params)
     # retries=1: the session's RetryPolicy owns the Las Vegas budget.
-    return AlgorithmOutput(array=oblivious_sort(machine, A, n_items, rng, retries=1))
+    return AlgorithmOutput(
+        array=oblivious_sort(machine, A, n_items, rng, retries=1, padded=padded)
+    )
 
 
 def _run_merge_sort(machine, A, n_items, rng, params) -> AlgorithmOutput:
@@ -570,6 +656,7 @@ register(AlgorithmSpec(
     permutation_only=True,
     variants=("sort", "bitonic_sort"),
     null_tolerant=True,
+    pad_aware=True,
 ))
 register(AlgorithmSpec(
     "merge_sort",
@@ -709,6 +796,47 @@ register(AlgorithmSpec(
     scan_kernel=_mask_kernel,
     scan_params=("lo", "hi"),
     null_tolerant=True,
+    padded_output=True,
+))
+register(AlgorithmSpec(
+    "join",
+    "oblivious equi-join: sort-merge over the tagged two-relation union",
+    _run_join,
+    randomized=True,
+    cost_model="join",
+    output_order="sorted",
+    permutation_invariant=True,
+    null_tolerant=True,
+    padded_output=True,
+    pad_aware=True,
+    arity=2,
+    out_items=lambda n_items, params: (
+        n_items * int(params.get("fanout", 1))
+        + int(params.get("_rhs_n_items", 0))
+    ),
+))
+register(AlgorithmSpec(
+    "group_by",
+    "oblivious group-by-aggregate: sort by key + segmented fixed scans",
+    _run_group_by,
+    randomized=True,
+    cost_model="group_by",
+    output_order="sorted",
+    permutation_invariant=True,
+    variants=("group_by", "group_by_sorted"),
+    null_tolerant=True,
+    padded_output=True,
+    pad_aware=True,
+))
+register(AlgorithmSpec(
+    "group_by_sorted",
+    "group-by-aggregate of an already key-ordered layout: two scans",
+    _run_group_by_sorted,
+    cost_model="group_by_scan",
+    output_order="sorted",
+    requires_input_order="sorted",
+    null_tolerant=True,
+    padded_output=True,
 ))
 register(AlgorithmSpec(
     "scale_values",

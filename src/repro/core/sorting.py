@@ -48,7 +48,7 @@ from repro.core.external_sort import oblivious_external_sort
 from repro.core.failure_sweep import SweepOverflow, failure_sweep
 from repro.core.quantiles import QuantileFailure, quantiles_em
 from repro.core.shuffle import DealOverflow, shuffle_and_deal
-from repro.em.block import RECORD_WIDTH, is_empty
+from repro.em.block import NULL_KEY, RECORD_WIDTH, is_empty
 from repro.em.errors import EMError
 from repro.errors import LasVegasFailure
 from repro.em.machine import EMMachine
@@ -222,32 +222,62 @@ class _KeySpace:
     max_key: int
 
 
+def _count_real(machine: EMMachine, A: EMArray) -> int:
+    """Private count of the real (non-NULL) records of ``A`` — one
+    fixed-pattern read scan."""
+    total = 0
+    for lo, hi in scan_chunks(machine, A.num_blocks):
+        with hold_scan(machine, 1, hi - lo):
+            blocks = machine.read_many(A, (lo, hi))
+            total += int(np.count_nonzero(~is_empty(blocks)))
+    return total
+
+
 def _distinctify(
-    machine: EMMachine, A: EMArray, n_items: int
+    machine: EMMachine, A: EMArray, n_items: int, pad_fill: int | None = None
 ) -> tuple[EMArray, _KeySpace]:
     """Scan rewriting each record's key to ``key * span + position`` so
     keys become distinct (ties broken by original position, making the
-    sort stable) while preserving order."""
+    sort stable) while preserving order.
+
+    A non-``None`` ``pad_fill`` (padded mode) promotes the first
+    ``pad_fill`` NULL slots, in scan order, to max-key sentinel records
+    — bringing the tagged real count up to exactly ``n_items`` so the
+    sort's rank arithmetic (pivot targets, public colour counts) stays
+    valid on inputs whose real count sits privately below the declared
+    public bound.  The sentinels sort to the very end and are stripped
+    back to NULLs by :func:`_undistinctify`; real keys must then stay
+    below ``limit - 1`` (one key sacrificed to the sentinel).
+    """
     span = next_pow2(max(2, n_items))
     out = machine.alloc(A.num_blocks, f"{A.name}.tagged")
     pos = 0
     limit = (1 << 62) // span
+    key_cap = limit if pad_fill is None else limit - 1
+    fill_left = pad_fill or 0
     for lo, hi in scan_chunks(machine, A.num_blocks, streams=2):
         with hold_scan(machine, 2, hi - lo):
 
             def tagged(reads):
-                nonlocal pos
+                nonlocal pos, fill_left
                 blocks = reads[0]
                 real = ~is_empty(blocks)
                 keys = blocks[..., 0][real]
-                if len(keys) and (keys.min() < 0 or keys.max() >= limit):
+                if len(keys) and (keys.min() < 0 or keys.max() >= key_cap):
                     machine.free(out)
                     raise ValueError(
-                        f"sortable keys must lie in [0, {limit}) for N={n_items}"
+                        f"sortable keys must lie in [0, {key_cap}) "
+                        f"for N={n_items}"
                     )
-                count = int(np.count_nonzero(real))
                 new = blocks.copy()
-                new[..., 0][real] = keys * span + np.arange(
+                if fill_left:
+                    holes = np.flatnonzero(~real.ravel())[:fill_left]
+                    new[..., 0].reshape(-1)[holes] = limit - 1
+                    new[..., 1].reshape(-1)[holes] = 0
+                    fill_left -= len(holes)
+                    real = ~is_empty(new)
+                count = int(np.count_nonzero(real))
+                new[..., 0][real] = new[..., 0][real] * span + np.arange(
                     pos, pos + count, dtype=np.int64
                 )
                 pos += count
@@ -257,8 +287,13 @@ def _distinctify(
     return out, _KeySpace(span=span, max_key=limit)
 
 
-def _undistinctify(machine: EMMachine, A: EMArray, span: int) -> None:
-    """Inverse of :func:`_distinctify`, in place."""
+def _undistinctify(
+    machine: EMMachine, A: EMArray, span: int, strip_sentinels: bool = False
+) -> None:
+    """Inverse of :func:`_distinctify`, in place.  In padded mode the
+    max-key sentinel records turn back into NULLs (they sorted to the
+    end, so the output stays front-packed)."""
+    sentinel = (1 << 62) // span - 1
     for lo, hi in scan_chunks(machine, A.num_blocks, streams=2):
         with hold_scan(machine, 2, hi - lo):
 
@@ -266,6 +301,10 @@ def _undistinctify(machine: EMMachine, A: EMArray, span: int) -> None:
                 blocks = reads[0]
                 real = ~is_empty(blocks)
                 blocks[..., 0][real] = blocks[..., 0][real] // span
+                if strip_sentinels:
+                    sent = blocks[..., 0] == sentinel
+                    blocks[..., 0] = np.where(sent, NULL_KEY, blocks[..., 0])
+                    blocks[..., 1] = np.where(sent, 0, blocks[..., 1])
                 return blocks
 
             machine.io_rounds([("r", A, (lo, hi)), ("w", A, (lo, hi), untagged)])
@@ -279,6 +318,7 @@ def oblivious_sort(
     *,
     retries: int = 3,
     stats: SortStats | None = None,
+    padded: bool = False,
 ) -> EMArray:
     """Sort the records of ``A`` (Theorem 21).
 
@@ -287,29 +327,53 @@ def oblivious_sort(
     the public number of real records.  Keys must be non-negative and
     fit in ``[0, 2^62 / next_pow2(N))``.
 
+    ``padded=True`` relaxes ``n_items`` to a public *upper bound*: the
+    input may hold fewer real records (e.g. downstream of a masking
+    scan, whose surviving count is private).  The sort then pays one
+    extra counting scan, promotes exactly ``n_items - real`` NULL slots
+    to max-key sentinels so its rank arithmetic sees a full ``n_items``
+    records, and strips them afterwards — the output holds the real
+    records front-packed, NULL-padded to the same public bound, and the
+    whole transcript is a function of ``(num_blocks, n_items)`` only.
+    ``padded`` is itself public (derived from plan structure), so
+    branching on it leaks nothing; the dense path is byte-identical to
+    before.  In padded mode keys must stay below the limit minus one
+    (the sentinel key).
+
     Stable: equal keys keep their input order (a by-product of the
     distinctness transform).  On a probabilistic failure the sort retries
     with fresh randomness, up to ``retries`` times.
     """
     if n_items < 0:
         raise ValueError(f"n_items must be non-negative, got {n_items}")
+    pad_fill = 0
+    if padded:
+        real = _count_real(machine, A)
+        if real > n_items:
+            raise ValueError(
+                f"padded sort declared n_items={n_items} but the input "
+                f"holds {real} real records"
+            )
+        pad_fill = n_items - real
     stats = stats if stats is not None else SortStats()
     last_error: Exception | None = None
     for attempt in range(max(1, retries)):
         stats.attempts = attempt + 1
         try:
-            tagged, keyspace = _distinctify(machine, A, n_items)
-            padded = _sort_padded(
+            tagged, keyspace = _distinctify(
+                machine, A, n_items, pad_fill if padded else None
+            )
+            padded_arr = _sort_padded(
                 machine, tagged, n_items, child_rng(rng, attempt), stats, 0
             )
             machine.free(tagged)
-            cons = consolidate(machine, padded)
-            machine.free(padded)
+            cons = consolidate(machine, padded_arr)
+            machine.free(padded_arr)
             out = tight_compact(
                 machine, cons.array, ceil_div(max(1, n_items), machine.B) + 1
             )
             machine.free(cons.array)
-            _undistinctify(machine, out, keyspace.span)
+            _undistinctify(machine, out, keyspace.span, strip_sentinels=padded)
             return out
         except _RETRYABLE as exc:  # noqa: PERF203
             last_error = exc

@@ -344,9 +344,11 @@ class EMMachine:
         self.client_extracts += 1
         return arr.nonempty()
 
-    def repack_resident(self, arr: EMArray, name: str = "") -> np.ndarray:
-        """Server-local handoff: return ``arr``'s non-empty records and
-        free it, *without* a client round trip.
+    def repack_resident(
+        self, arr: EMArray, name: str = "", *, keep_layout: bool = False
+    ) -> np.ndarray:
+        """Server-local handoff: return ``arr``'s records and free it,
+        *without* a client round trip.
 
         The pipeline executor uses this between steps: the server packs an
         intermediate's records (a server-local operation in a real
@@ -354,8 +356,15 @@ class EMMachine:
         :attr:`client_loads` / :attr:`client_extracts` are untouched) and
         the executor immediately re-stages them into the next step's input
         array via :meth:`stage_records`.
+
+        ``keep_layout=True`` returns *every* cell — NULL padding included
+        — so the handoff size is the layout's public cell count rather
+        than the data-dependent surviving count.  This is the
+        selectivity-hiding path for padded intermediates (masking scans,
+        joins, group-by, streamed sources): the adversary-visible size of
+        the next step stays a function of public bounds only.
         """
-        records = arr.nonempty()
+        records = arr.flat() if keep_layout else arr.nonempty()
         self.free(arr)
         return records
 

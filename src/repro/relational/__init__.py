@@ -1,0 +1,30 @@
+"""Oblivious relational operators: equi-join and group-by-aggregate.
+
+This package is the query layer over the core primitives: sort-merge
+over tagged unions plus fixed-schedule scans compose into joins and
+aggregations whose access transcripts depend only on *public bounds*
+(input sizes, fanout, block size) — never on key values, match counts,
+or group sizes.  Outputs are padded to the public bound with interior
+``NULL`` rows, so downstream steps keep sizing themselves publicly; see
+``AlgorithmSpec.padded_output`` in :mod:`repro.api.registry`.
+
+The registered pipeline steps live in the registry (``join``,
+``group_by``, ``group_by_sorted``); this package holds the kernels.
+"""
+
+from repro.relational.groupby import (
+    AGGREGATES,
+    group_by_em,
+    group_by_sorted_em,
+    group_scan,
+)
+from repro.relational.join import COMBINES, equi_join_em
+
+__all__ = [
+    "AGGREGATES",
+    "COMBINES",
+    "equi_join_em",
+    "group_by_em",
+    "group_by_sorted_em",
+    "group_scan",
+]

@@ -96,6 +96,31 @@ def workload(
         n_blocks, occupied, M = _SPARSE[name]
         B = 4
         return _sparse_layout(n_blocks, occupied, B, rng), {}, {"M": M, "B": B}
+    if name == "join":
+        # Two relations.  Public: both sizes, fanout, combine.  Private:
+        # every key, which keys collide (and how often), every value.
+        n_side = 32
+        left, right = (
+            np.stack(
+                [
+                    rng.integers(0, 1000, size=n_side),
+                    rng.integers(0, 10**6, size=n_side),
+                ],
+                axis=1,
+            ).astype(np.int64)
+            for _ in range(2)
+        )
+        return (left, right), {"fanout": 2, "combine": "sum"}, {"M": 64, "B": 4}
+    if name in ("group_by", "group_by_sorted"):
+        # Duplicate-heavy keys: group count and every group size are
+        # private, so they must not reach the transcript.
+        keys = rng.integers(0, 40, size=_RECORDS_N)
+        if spec.requires_input_order == "sorted":
+            keys = np.sort(keys)
+        data = np.stack(
+            [keys, rng.integers(0, 10**6, size=_RECORDS_N)], axis=1
+        ).astype(np.int64)
+        return data, {"agg": "sum"}, {"M": 64, "B": 4}
     if name == "oram_read_batch":
         # Public: record count and request length (with a repeat); private:
         # every key and value.  The requested *ranks* are public here only
@@ -155,12 +180,20 @@ def adversary_fingerprint(
     The fingerprint covers the *entire* adversary view of the run —
     the upload allocation, every block I/O of every attempt, and the
     teardown frees — which is strictly stronger than the per-step
-    ``CostReport`` window."""
+    ``CostReport`` window.
+
+    Arity-2 algorithms take ``data`` as a ``(left, right)`` tuple and are
+    routed through :meth:`Dataset.join`."""
     cfg = EMConfig(backend=backend, **(config_kwargs or {"M": 64, "B": 4}))
     with ObliviousSession(
         cfg, seed=seed, retry=RetryPolicy(max_attempts=6)
     ) as session:
-        result = session.dataset(data).apply(name, **params).run(optimize)
+        if isinstance(data, tuple):
+            left, right = data
+            ds = session.dataset(left).join(session.dataset(right), **params)
+        else:
+            ds = session.dataset(data).apply(name, **params)
+        result = ds.run(optimize)
         return session.machine.trace.fingerprint(), result.total.attempts
 
 

@@ -150,12 +150,12 @@ def test_chain_transcripts_invariant_at_fixed_selectivity(optimize):
 
 
 def test_mask_selectivity_is_public_when_composed():
-    """The documented model caveat, pinned: a step's record count is
-    public, so composing mask with a further step reveals the surviving
-    count through the next step's sizing — same shape, same params, same
-    seed, different selectivity ⇒ different chain transcript.  (The
-    standalone mask step stays invariant — the property test above — and
-    hiding selectivity via upper-bound counts is roadmap work.)"""
+    """The model caveat this pin used to document is CLOSED: a masking
+    scan's surviving count no longer reaches downstream steps — mask's
+    output keeps its input's public bound as a padded layout, and every
+    downstream step (here: sort, in its padded mode) sizes itself on
+    that bound alone.  Same shape, same params, same seed, *different
+    selectivity* ⇒ bit-identical chain transcript."""
     import numpy as np
 
     from repro.api import EMConfig, ObliviousSession
@@ -167,7 +167,40 @@ def test_mask_selectivity_is_public_when_composed():
             s.dataset(data).apply("mask", hi=100).sort().run()
             return s.machine.trace.fingerprint()
 
-    assert run(16) != run(64)
+    assert run(16) == run(64)
+
+
+@pytest.mark.parametrize("terminal", ["join", "group_by"])
+def test_mask_selectivity_stays_hidden_through_relational_steps(terminal):
+    """Selectivity-hiding composition for the relational layer: a
+    mask→join / mask→group_by chain's transcript is bit-identical
+    across *different surviving counts* (not merely different data at a
+    fixed count) — the relational step prices and schedules itself on
+    the mask input's public bound, never the private survivor count."""
+    import numpy as np
+
+    from repro.api import EMConfig, ObliviousSession
+
+    def run(n_surviving):
+        keys = np.arange(48) + np.int64(10**4) * (np.arange(48) >= n_surviving)
+        data = np.stack([keys, keys + 1], axis=1).astype(np.int64)
+        with ObliviousSession(EMConfig(M=64, B=4), seed=SEED) as s:
+            masked = s.dataset(data).apply("mask", hi=100)
+            if terminal == "join":
+                right = np.stack(
+                    [np.arange(48) % 7, np.arange(48)], axis=1
+                ).astype(np.int64)
+                masked.join(s.dataset(right), fanout=2).run()
+            else:
+                masked.group_by(agg="count").run()
+            return s.machine.trace.fingerprint()
+
+    views = {run(n) for n in (4, 24, 48)}
+    assert len(views) == 1, (
+        f"mask→{terminal} leaked the surviving count: {len(views)} "
+        "distinct transcripts across selectivities at fixed "
+        "(shape, params, seed)"
+    )
 
 
 @pytest.mark.parametrize("name", LEAKY_ALGOS)
