@@ -2,14 +2,17 @@
 oblivious-RAM simulation, so a faster sort means lower amortized
 overhead.
 
-We measure the square-root ORAM's amortized I/O per access and the
+We measure both ORAM backends' amortized I/O per access and the
 fraction spent inside rebuilds (= inside the oblivious sort).  The
 rebuild fraction dominating is precisely why the paper's sorting result
-improves ORAM simulation by a log factor.
+improves ORAM simulation by a log factor — and the hierarchical
+backend's lower amortized figure at the larger shapes is the log²-vs-√n
+crossover the plan optimizer prices.
 """
 
 import pytest
 
+from repro.oram import ORAM_BACKENDS
 from repro.oram.simulation import measure_oram_overhead
 
 from _workloads import series_table, experiment
@@ -17,29 +20,37 @@ from _workloads import series_table, experiment
 
 @experiment
 def bench_e9_overhead_series(capsys):
-    rows = []
+    rows = {backend: [] for backend in ORAM_BACKENDS}
     for n in (16, 36, 64, 144):
-        stats = measure_oram_overhead(n=n, num_accesses=3 * n, M=4096, B=4, seed=0)
-        rows.append([
-            n,
-            stats.accesses,
-            stats.rebuilds,
-            stats.amortized_ios_per_access,
-            stats.rebuild_fraction,
-        ])
+        for backend in ORAM_BACKENDS:
+            stats = measure_oram_overhead(
+                n=n, num_accesses=3 * n, M=4096, B=4, seed=0,
+                oram_factory=backend,
+            )
+            rows[backend].append([
+                n,
+                stats.accesses,
+                stats.rebuilds,
+                stats.amortized_ios_per_access,
+                stats.rebuild_fraction,
+            ])
     with capsys.disabled():
         print()
-        print(series_table(
-            "E9 square-root ORAM amortized cost — rebuilds (the oblivious "
-            "sort inner loop) dominate, so Theorem 21's faster sort "
-            "directly lowers the amortized overhead",
-            ["n", "accesses", "rebuilds", "ios/access", "rebuild_frac"],
-            rows,
-        ))
-    # Rebuilds must dominate the cost (the paper's premise).
-    assert all(r[4] > 0.5 for r in rows)
-    # Overhead grows with n (sqrt(n) polylog shape).
-    assert rows[-1][3] > rows[0][3]
+        for backend in ORAM_BACKENDS:
+            print(series_table(
+                f"E9 {backend} ORAM amortized cost — rebuilds (the "
+                "oblivious sort inner loop) dominate, so Theorem 21's "
+                "faster sort directly lowers the amortized overhead",
+                ["n", "accesses", "rebuilds", "ios/access", "rebuild_frac"],
+                rows[backend],
+            ))
+    for backend in ORAM_BACKENDS:
+        # Rebuilds must dominate the cost (the paper's premise).
+        assert all(r[4] > 0.5 for r in rows[backend])
+        # Overhead grows with n (sqrt(n)·polylog resp. polylog shape).
+        assert rows[backend][-1][3] > rows[backend][0][3]
+    # The crossover: hierarchical amortizes cheaper at the larger shapes.
+    assert rows["hierarchical"][-1][3] < rows["square_root"][-1][3]
 
 
 @experiment

@@ -33,7 +33,13 @@ PIPELINE_METRICS = (
     "pipeline_wall_seconds",
     "optimized_wall_seconds",
 )
-ORAM_METRICS = ("total_ios", "wall_seconds", "peel_constant_per_r15")
+ORAM_METRICS = (
+    "total_ios",
+    "wall_seconds",
+    "peel_constant_per_r15",
+    "sqrt_amortized_ios_per_access",
+    "hier_amortized_ios_per_access",
+)
 SERVICE_METRICS = (
     "streamed_total_ios",
     "one_shot_total_ios",
@@ -76,6 +82,8 @@ EXACT = {
     "pipeline_round_trips",
     "attempts",
     "peel_constant_per_r15",
+    "sqrt_amortized_ios_per_access",
+    "hier_amortized_ios_per_access",
     "streamed_total_ios",
     "one_shot_total_ios",
     "streamed_peak_upload_records",

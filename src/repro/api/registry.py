@@ -46,7 +46,7 @@ from repro.core.sorting import oblivious_sort
 from repro.em.block import NULL_KEY, is_empty
 from repro.em.machine import EMMachine
 from repro.em.storage import EMArray
-from repro.oram.square_root import SquareRootORAM
+from repro.oram import make_oram
 from repro.relational.groupby import group_by_em, group_by_sorted_em
 from repro.relational.join import equi_join_em
 from repro.util.mathx import ceil_div
@@ -500,19 +500,32 @@ def _run_compact(machine, A, n_items, rng, params) -> AlgorithmOutput:
     return AlgorithmOutput(array=out)
 
 
-def _run_compact_sparse(machine, A, n_items, rng, params) -> AlgorithmOutput:
+def _compact_sparse(machine, A, n_items, rng, params, name, backend):
     capacity_blocks = params.pop("capacity_blocks", None)
-    _done("compact_sparse", params)
+    backend = params.pop("oram_backend", backend)
+    _done(name, params)
     cons = consolidate(machine, A)
     r = (
         capacity_blocks
         if capacity_blocks is not None
         else _compact_capacity(machine, cons.array.num_blocks, n_items)
     )
-    out = tight_compact_sparse(machine, cons.array, r, rng)
+    out = tight_compact_sparse(machine, cons.array, r, rng, oram_backend=backend)
     if out is not cons.array:
         machine.free(cons.array)
     return AlgorithmOutput(array=out)
+
+
+def _run_compact_sparse(machine, A, n_items, rng, params) -> AlgorithmOutput:
+    return _compact_sparse(
+        machine, A, n_items, rng, params, "compact_sparse", "square_root"
+    )
+
+
+def _run_compact_sparse_hier(machine, A, n_items, rng, params) -> AlgorithmOutput:
+    return _compact_sparse(
+        machine, A, n_items, rng, params, "compact_sparse_hier", "hierarchical"
+    )
 
 
 def _run_compact_loose(machine, A, n_items, rng, params) -> AlgorithmOutput:
@@ -597,31 +610,33 @@ def _run_shuffle(machine, A, n_items, rng, params) -> AlgorithmOutput:
     return AlgorithmOutput(array=A)
 
 
-def _run_oram_read_batch(machine, A, n_items, rng, params) -> AlgorithmOutput:
-    """Fetch records by rank through a square-root ORAM.
+def _oram_read_batch(machine, A, n_items, rng, params, name, backend):
+    """Fetch records by rank through an ORAM backend.
 
     The requested *positions* stay hidden in the ORAM's standard
     (distributional) sense: probe positions are pseudorandom tags never
-    reused within an epoch, so a server observing the run learns
-    ``len(indices)`` (the output size — sizes are public per step, as
-    everywhere in this library) but cannot distinguish which ranks were
-    read (see the obliviousness discussion in
-    :mod:`repro.oram.square_root`).  Output records appear in request
+    reused within an epoch (square-root) or a level lifetime
+    (hierarchical), so a server observing the run learns ``len(indices)``
+    (the output size — sizes are public per step, as everywhere in this
+    library) but cannot distinguish which ranks were read (see the
+    obliviousness discussion in :mod:`repro.oram.square_root` and
+    :mod:`repro.oram.hierarchical`).  Output records appear in request
     order; duplicate ranks are allowed.
     """
     indices = params.pop("indices")
-    _done("oram_read_batch", params)
+    backend = params.pop("oram_backend", backend)
+    _done(name, params)
     idx = np.asarray(indices, dtype=np.int64).reshape(-1)
     if idx.size == 0:
-        raise ValueError("oram_read_batch needs at least one index")
+        raise ValueError(f"{name} needs at least one index")
     if bool(np.any((idx < 0) | (idx >= max(1, n_items)))):
         raise IndexError(
-            f"oram_read_batch ranks must lie in [0, {n_items}), got "
+            f"{name} ranks must lie in [0, {n_items}), got "
             f"[{int(idx.min())}, {int(idx.max())}]"
         )
     B = machine.B
-    oram = SquareRootORAM(
-        machine, A.num_blocks, rng, initial=A, name=f"{A.name}.oram"
+    oram = make_oram(
+        backend, machine, A.num_blocks, rng, initial=A, name=f"{A.name}.oram"
     )
     out = machine.alloc_cells(len(idx), f"{A.name}.reads")
     # One ORAM access per request; output blocks flush on a fixed schedule
@@ -643,6 +658,18 @@ def _run_oram_read_batch(machine, A, n_items, rng, params) -> AlgorithmOutput:
             machine.write(out, out_block, buf)
     oram.free()
     return AlgorithmOutput(array=out)
+
+
+def _run_oram_read_batch(machine, A, n_items, rng, params) -> AlgorithmOutput:
+    return _oram_read_batch(
+        machine, A, n_items, rng, params, "oram_read_batch", "square_root"
+    )
+
+
+def _run_oram_read_batch_hier(machine, A, n_items, rng, params) -> AlgorithmOutput:
+    return _oram_read_batch(
+        machine, A, n_items, rng, params, "oram_read_batch_hier", "hierarchical"
+    )
 
 
 register(AlgorithmSpec(
@@ -686,7 +713,8 @@ register(AlgorithmSpec(
     _run_compact,
     cost_model="compact",
     output_order="same",
-    variants=("compact", "compact_sparse", "compact_loose", "compact_logstar"),
+    variants=("compact", "compact_sparse", "compact_sparse_hier",
+              "compact_loose", "compact_logstar"),
     null_tolerant=True,
 ))
 register(AlgorithmSpec(
@@ -696,7 +724,17 @@ register(AlgorithmSpec(
     randomized=True,
     cost_model="compact_sparse",
     output_order="same",
-    variants=("compact_sparse", "compact"),
+    variants=("compact_sparse", "compact_sparse_hier", "compact"),
+    null_tolerant=True,
+))
+register(AlgorithmSpec(
+    "compact_sparse_hier",
+    "Theorem-4 tight compaction, peel simulated on the hierarchical ORAM",
+    _run_compact_sparse_hier,
+    randomized=True,
+    cost_model="compact_sparse_hier",
+    output_order="same",
+    variants=("compact_sparse_hier", "compact_sparse", "compact"),
     null_tolerant=True,
 ))
 register(AlgorithmSpec(
@@ -719,7 +757,8 @@ register(AlgorithmSpec(
     # strictly stronger, so the optimizer's order fence applies): the
     # record multiset is identical and, at genuinely sparse shapes, the
     # recalibrated Theorem-4 path now often prices below the phases.
-    variants=("compact_logstar", "compact", "compact_sparse"),
+    variants=("compact_logstar", "compact", "compact_sparse",
+              "compact_sparse_hier"),
     null_tolerant=True,
 ))
 register(AlgorithmSpec(
@@ -785,6 +824,19 @@ register(AlgorithmSpec(
     cost_model="oram_read_batch",
     output_order=None,
     out_items=lambda n_items, params: len(params.get("indices", ())),
+    # The two backends compute the same function with different cost
+    # shapes (sqrt(n) vs polylog amortized) — the optimizer's first
+    # oram_backend axis, cost-selected per (n, M, B, request length).
+    variants=("oram_read_batch", "oram_read_batch_hier"),
+))
+register(AlgorithmSpec(
+    "oram_read_batch_hier",
+    "batched oblivious reads: fetch records by rank via hierarchical ORAM",
+    _run_oram_read_batch_hier,
+    cost_model="oram_read_batch_hier",
+    output_order=None,
+    out_items=lambda n_items, params: len(params.get("indices", ())),
+    variants=("oram_read_batch_hier", "oram_read_batch"),
 ))
 register(AlgorithmSpec(
     "mask",

@@ -50,7 +50,7 @@ from repro.em.machine import EMMachine
 from repro.em.storage import EMArray
 from repro.iblt.hashing import PartitionedHashFamily
 from repro.networks.butterfly import butterfly_compact
-from repro.oram.square_root import SquareRootORAM
+from repro.oram import make_oram
 from repro.util.mathx import ceil_div, ilog2, log_base
 
 __all__ = [
@@ -345,10 +345,12 @@ def _peel_oram(
     state: _IBLTState,
     r: int,
     rng: np.random.Generator,
+    oram_backend: str = "square_root",
 ) -> tuple[EMArray, EMArray, bool]:
     """Oblivious peel: every data-dependent memory access of the peeling
-    RAM program goes through square-root ORAMs on a fixed schedule
-    (Theorem 4's use of the oblivious-RAM simulation).
+    RAM program goes through ORAMs (square-root by default, hierarchical
+    via ``oram_backend``) on a fixed schedule (Theorem 4's use of the
+    oblivious-RAM simulation).
 
     Per iteration the program performs exactly one queue pop, one cell
     examine, one payload read, two fixed-position output writes, and
@@ -410,16 +412,16 @@ def _peel_oram(
             machine.write_many(qinit, (m_cells + lo, m_cells + hi), pad)
     oblivious_block_sort(machine, [qinit])
 
-    oram_cells = SquareRootORAM(
-        machine, m_cells, rng, initial=state.meta,
+    oram_cells = make_oram(
+        oram_backend, machine, m_cells, rng, initial=state.meta,
         name="peel.meta", shelter_factor=factor,
     )
-    oram_pay = SquareRootORAM(
-        machine, m_cells, rng, initial=state.payload,
+    oram_pay = make_oram(
+        oram_backend, machine, m_cells, rng, initial=state.payload,
         name="peel.data", shelter_factor=factor,
     )
-    oram_q = SquareRootORAM(
-        machine, qcap, rng, initial=qinit,
+    oram_q = make_oram(
+        oram_backend, machine, qcap, rng, initial=qinit,
         name="peel.queue", shelter_factor=factor,
     )
     machine.free(qinit)
@@ -512,6 +514,7 @@ def tight_compact_sparse(
     table_factor: int = 6,
     oblivious_list: bool = True,
     strict: bool = True,
+    oram_backend: str = "square_root",
 ) -> EMArray | tuple[EMArray, bool]:
     """Theorem 4: tight order-preserving compaction via an IBLT.
 
@@ -525,6 +528,8 @@ def tight_compact_sparse(
     simulation, making the whole operation data-oblivious; ``False`` uses
     a direct (access-revealing) peel — faster, with identical output —
     for use inside larger constructions that only need the result.
+    ``oram_backend`` selects the simulation backend for the peel's ORAMs
+    (see :func:`repro.oram.make_oram`).
 
     With ``strict=True`` a peeling failure raises
     :class:`CompactionFailure`; with ``strict=False`` the function returns
@@ -547,7 +552,7 @@ def tight_compact_sparse(
     if oblivious_list:
         # The peel returns its outputs already sorted by original index
         # (+inf-keyed dummies last): the ≤ r real items are a prefix.
-        out_meta, out_pay, ok = _peel_oram(machine, state, r, rng)
+        out_meta, out_pay, ok = _peel_oram(machine, state, r, rng, oram_backend)
         result = machine.alloc(r, f"{A.name}.sparse")
         for lo, hi in scan_chunks(machine, r, streams=3):
             with hold_scan(machine, 3, hi - lo):

@@ -3,15 +3,17 @@
 The paper's closing observation (§1, §5) is that because data-oblivious
 sorting is the inner loop of oblivious-RAM simulations, a faster oblivious
 sort improves the simulation's amortized overhead by a logarithmic factor.
-This module measures that: it runs an access workload against a
-:class:`repro.oram.square_root.SquareRootORAM` and reports the amortized
-I/O overhead per access, splitting out the I/Os spent inside rebuilds
+This module measures that: it runs an access workload against an ORAM
+backend (square-root by default; any ``oram_factory`` — e.g. the
+hierarchical scheme — can be substituted) and reports the amortized I/O
+overhead per access, splitting out the I/Os spent inside rebuilds
 (i.e. inside the oblivious sort) so the sort's contribution is visible.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
@@ -24,13 +26,19 @@ __all__ = ["ORAMStats", "measure_oram_overhead"]
 
 @dataclass(frozen=True)
 class ORAMStats:
-    """Amortized-cost report for an ORAM workload."""
+    """Amortized-cost report for an ORAM workload.
+
+    ``accesses`` counts every operation the workload issued — dummy ops
+    included, since a fixed-schedule program pays for them like any
+    other access.
+    """
 
     n: int
     accesses: int
     total_ios: int
     rebuild_ios: int
     rebuilds: int
+    backend: str = "square_root"
 
     @property
     def amortized_ios_per_access(self) -> float:
@@ -50,26 +58,81 @@ def measure_oram_overhead(
     M: int = 64,
     B: int = 4,
     seed: int = 0,
+    workload: str = "read",
+    oram_factory: Callable[[EMMachine, int, np.random.Generator], object]
+    | str
+    | None = None,
 ) -> ORAMStats:
-    """Run a uniform random access workload and report amortized cost."""
+    """Run a random access workload and report amortized cost.
+
+    ``workload="read"`` issues uniform random reads (the historical E9
+    shape); ``"mixed"`` draws uniformly from read / write / update /
+    dummy ops — writes and updates exercise the shelter-append and
+    rebuild paths with fresh payloads, and dummy ops count toward the
+    ``accesses`` denominator like any other operation.
+
+    ``oram_factory`` selects the backend: a backend name accepted by
+    :func:`repro.oram.make_oram`, or a callable
+    ``(machine, n, rng) -> oram`` (default: square-root).
+
+    Rebuild attribution: an access that triggers a rebuild pays the
+    normal access cost *plus* the rebuild; only the excess over the
+    running mean non-rebuild access cost is booked to ``rebuild_ios``
+    (before any non-rebuild access is seen the whole cost is booked —
+    there is nothing to subtract yet).
+    """
+    if workload not in ("read", "mixed"):
+        raise ValueError(f"unknown workload {workload!r}; use 'read' or 'mixed'")
     machine = EMMachine(M=M, B=B, trace=False)
     rng = make_rng(seed)
-    oram = SquareRootORAM(machine, n, rng)
+    if oram_factory is None:
+        backend = "square_root"
+        oram = SquareRootORAM(machine, n, rng)
+    elif isinstance(oram_factory, str):
+        from repro.oram import make_oram
+
+        backend = oram_factory
+        oram = make_oram(oram_factory, machine, n, rng)
+    else:
+        backend = getattr(oram_factory, "__name__", "custom")
+        oram = oram_factory(machine, n, rng)
     baseline = machine.total_ios  # setup cost excluded from the amortized figure
-    rebuild_ios = 0
-    workload = rng.integers(0, n, size=num_accesses)
-    for i in workload:
+    rebuild_ios = 0.0
+    plain_ios = 0  # total cost of non-rebuild accesses ...
+    plain_count = 0  # ... and how many there were (running mean)
+    indices = rng.integers(0, n, size=num_accesses)
+    kinds = (
+        rng.integers(0, 4, size=num_accesses)
+        if workload == "mixed"
+        else np.zeros(num_accesses, dtype=np.int64)
+    )
+    for i, kind in zip(indices, kinds):
         before_rebuilds = oram.rebuilds
         before_ios = machine.total_ios
-        oram.read(int(i))
+        if kind == 0:
+            oram.read(int(i))
+        elif kind == 1:
+            blk = np.zeros((B, 2), dtype=np.int64)
+            blk[0, 0] = int(rng.integers(0, 2**31))
+            oram.write(int(i), blk)
+        elif kind == 2:
+            oram.update(int(i), lambda b: b + 1)
+        else:
+            oram.dummy_op()
+        cost = machine.total_ios - before_ios
         if oram.rebuilds > before_rebuilds:
             # The access triggered a rebuild; attribute the excess over a
-            # typical non-rebuild access to the rebuild.
-            rebuild_ios += machine.total_ios - before_ios
+            # typical (running mean) non-rebuild access to the rebuild.
+            mean = plain_ios / plain_count if plain_count else 0.0
+            rebuild_ios += max(0.0, cost - mean)
+        else:
+            plain_ios += cost
+            plain_count += 1
     return ORAMStats(
         n=n,
-        accesses=num_accesses,
+        accesses=oram.accesses,
         total_ios=machine.total_ios - baseline,
-        rebuild_ios=rebuild_ios,
+        rebuild_ios=int(round(rebuild_ios)),
         rebuilds=oram.rebuilds,
+        backend=backend,
     )

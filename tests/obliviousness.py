@@ -64,6 +64,7 @@ _SPARSE = {
     # name -> (layout blocks, occupied records, machine M)
     "compact": (32, 6, 64),
     "compact_sparse": (16, 3, 64),
+    "compact_sparse_hier": (16, 3, 64),
     "compact_logstar": (48, 3, 64),
     "compact_loose": (64, 8, 256),
 }
@@ -121,11 +122,12 @@ def workload(
             [keys, rng.integers(0, 10**6, size=_RECORDS_N)], axis=1
         ).astype(np.int64)
         return data, {"agg": "sum"}, {"M": 64, "B": 4}
-    if name == "oram_read_batch":
+    if name in ("oram_read_batch", "oram_read_batch_hier"):
         # Public: record count and request length (with a repeat); private:
         # every key and value.  The requested *ranks* are public here only
         # because the workload pins them — the ORAM hides them regardless,
-        # which the ORAM-layer harness below pins directly.
+        # which the ORAM-layer harness below pins directly (for either
+        # backend).
         keys = rng.choice(10**6, size=_RECORDS_N, replace=False)
         data = np.stack(
             [keys, rng.integers(0, 10**6, size=_RECORDS_N)], axis=1
@@ -334,26 +336,28 @@ def interleaved_tenant_fingerprints(
 # ORAM-layer harness: the adversary view of raw read/write/dummy sequences
 # ---------------------------------------------------------------------------
 #
-# The square-root ORAM's guarantee is the paper's *distributional* one: the
+# Both ORAM backends give the paper's *distributional* guarantee: the
 # store-probe path tracks the searched tag's rank, and tags are a PRF of
-# the logical index under the epoch key, so at a FIXED seed two different
-# index sequences produce different (identically distributed) probe
-# positions — full-transcript bit-equality across index sequences is
+# the logical index under the epoch (square-root) or per-level
+# (hierarchical) key, so at a FIXED seed two different index sequences
+# produce different (identically distributed) probe positions —
+# full-transcript bit-equality across index sequences is
 # information-theoretically unavailable for any scheme that probes
 # per-index positions.  What IS bitwise-invariant, and what these helpers
-# pin, is everything else:
+# pin for either backend, is everything else:
 #
 # * the transcript *shape* — the (op, array) event sequence, event count
-#   included — is a fixed function of (n, shelter_factor, schedule
-#   length) across arbitrary index/value/op-kind choices, rebuild epochs
-#   and all (rebuild segments are bit-identical including indices, being
-#   fixed scans and oblivious sorts);
+#   included — is a fixed function of (n, backend geometry, schedule
+#   length) across arbitrary index/value/op-kind choices, rebuild/merge
+#   epochs and all (rebuild segments are bit-identical including
+#   indices, being fixed scans and oblivious sorts);
 # * the *full* transcript, indices included, across data values and
 #   read/write/update op kinds at a fixed index schedule — the probe path
 #   never depends on what is stored or which kind of access runs;
 # * the fixed-length ``_binary_search`` probe schedule: every access pays
-#   exactly ``ilog2(n_store) + 2`` store-meta probes and one payload
-#   read, found-early or not.
+#   exactly ``ilog2(store slots) + 2`` meta probes and one payload read
+#   per probed store (the shelter+main store for square-root; every
+#   occupied level for hierarchical), found-early or not.
 #
 # (The distributional half — probe positions across seeds — is pinned by
 # the KS test in ``tests/test_oram.py``.)
@@ -367,20 +371,23 @@ def oram_transcript(
     B: int = 4,
     seed: int = SEED,
     shelter_factor: int = 1,
+    backend: str = "square_root",
 ):
-    """Run ``schedule`` against a fresh square-root ORAM.
+    """Run ``schedule`` against a fresh ORAM of the given ``backend``.
 
     ``schedule`` is a sequence of ``("read", i)``, ``("write", i, v)``,
     ``("update", i)`` or ``("dummy",)`` ops.  Returns ``(machine, oram,
     events)`` where ``events`` is the post-construction transcript as an
-    ``(k, 3)`` array of (op, array_id, index) rows.
+    ``(k, 3)`` array of (op, array_id, index) rows.  ``shelter_factor``
+    only shapes the square-root backend (see :func:`repro.oram.make_oram`).
     """
     from repro.em.block import NULL_KEY
     from repro.em.machine import EMMachine
-    from repro.oram import SquareRootORAM
+    from repro.oram import make_oram
 
     machine = EMMachine(M=M, B=B)
-    oram = SquareRootORAM(
+    oram = make_oram(
+        backend,
         machine,
         n,
         np.random.default_rng(seed),
@@ -406,14 +413,25 @@ def oram_transcript(
 
 def oram_probe_counts(n: int, accesses: int, **kwargs) -> tuple[int, int]:
     """(store-meta reads, store-payload reads) per access, measured over
-    ``accesses`` reads inside one epoch (no rebuild in the window)."""
+    ``accesses`` reads inside one epoch (no rebuild/merge in the window).
+
+    For the square-root backend the store is the single
+    ``store_meta``/``store_payload`` pair; for the hierarchical backend
+    it is the union of the per-level arrays (only level L is occupied
+    before the first merge, so the window probes exactly that store)."""
     machine, oram, events = oram_transcript(
         n, [("read", t % n) for t in range(accesses)], **kwargs
     )
     assert oram.rebuilds == 0, "probe-count window must stay inside an epoch"
+    if hasattr(oram, "store_meta"):
+        meta_ids = {oram.store_meta.array_id}
+        payload_ids = {oram.store_payload.array_id}
+    else:
+        meta_ids = {arr.array_id for arr in oram.level_meta}
+        payload_ids = {arr.array_id for arr in oram.level_payload}
     reads = events[events[:, 0] == 0]
-    meta = int(np.count_nonzero(reads[:, 1] == oram.store_meta.array_id))
-    payload = int(np.count_nonzero(reads[:, 1] == oram.store_payload.array_id))
+    meta = int(np.count_nonzero(np.isin(reads[:, 1], list(meta_ids))))
+    payload = int(np.count_nonzero(np.isin(reads[:, 1], list(payload_ids))))
     return meta // accesses, payload // accesses
 
 

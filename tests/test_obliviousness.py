@@ -319,14 +319,18 @@ from obliviousness import (  # noqa: E402 - grouped with their tests
 )
 
 
+@pytest.mark.parametrize("backend", ["square_root", "hierarchical"])
 @given(variant=st.integers(0, 2**32 - 1))
 @settings(max_examples=8, deadline=None)
-def test_oram_transcript_shape_invariant_across_access_sequences(variant):
+def test_oram_transcript_shape_invariant_across_access_sequences(
+    backend, variant
+):
     """The (op, array) event sequence — length included — is a fixed
     function of (n, seed, schedule length) for ANY mix of reads, writes,
-    updates and dummies at any logical indices, across rebuild epochs."""
+    updates and dummies at any logical indices, across rebuild epochs —
+    for either ORAM backend."""
     n = 9
-    length = 3 * n  # crosses several epochs (s = 3)
+    length = 3 * n  # crosses several epochs (s = 3; hier buffer s0 = 4)
     rng = np.random.default_rng(variant)
     schedules = []
     for _ in range(2):
@@ -343,26 +347,30 @@ def test_oram_transcript_shape_invariant_across_access_sequences(variant):
             else:
                 schedule.append(("dummy",))
         schedules.append(schedule)
-    assert_oram_shape_invariant(n, schedules)
+    assert_oram_shape_invariant(n, schedules, backend=backend)
 
 
-def test_oram_shape_invariance_covers_rebuild_epochs():
+@pytest.mark.parametrize("backend", ["square_root", "hierarchical"])
+def test_oram_shape_invariance_covers_rebuild_epochs(backend):
     """The shape check is only meaningful if the window really crosses
     rebuilds — pin that it does, and that rebuild segments are fully
     fixed (they are scans + oblivious sorts, so shape equality over the
     whole window implies it)."""
     n = 9
-    _, oram, _ = oram_transcript(n, [("read", 0)] * (3 * n))
+    _, oram, _ = oram_transcript(n, [("read", 0)] * (3 * n), backend=backend)
     assert oram.rebuilds >= 2
 
 
+@pytest.mark.parametrize("backend", ["square_root", "hierarchical"])
 @given(variant=st.integers(0, 2**32 - 1))
 @settings(max_examples=8, deadline=None)
-def test_oram_transcript_bitwise_invariant_across_values_and_op_kinds(variant):
+def test_oram_transcript_bitwise_invariant_across_values_and_op_kinds(
+    backend, variant
+):
     """At a FIXED logical index schedule, the complete transcript —
     probe positions included — is bit-identical whatever values are
     written and whether each access is a read, a write, or an update:
-    the probe tag depends only on the index and the epoch key."""
+    the probe tag depends only on the index and the epoch (or level) key."""
     n = 8
     rng = np.random.default_rng(variant)
     indices = [int(rng.integers(n)) for _ in range(3 * n)]
@@ -378,7 +386,7 @@ def test_oram_transcript_bitwise_invariant_across_values_and_op_kinds(variant):
             else:
                 schedule.append(("read", i))
         schedules.append(schedule)
-    assert_oram_bitwise_invariant(n, schedules)
+    assert_oram_bitwise_invariant(n, schedules, backend=backend)
 
 
 @pytest.mark.parametrize("n", [8, 13, 100])
@@ -391,6 +399,25 @@ def test_oram_binary_search_probe_schedule_is_fixed_length(n):
     want_meta = ilog2(oram.n_store) + 2
     meta_per_access, payload_per_access = oram_probe_counts(
         n, accesses=max(1, min(3, oram.s - 1))
+    )
+    assert meta_per_access == want_meta
+    assert payload_per_access == 1
+
+
+@pytest.mark.parametrize("n", [8, 13, 100])
+def test_hierarchical_probe_schedule_is_fixed_length(n):
+    """Hierarchical accesses pay exactly ilog2(caps_k) + 2 meta probes
+    and one payload read per *occupied* level — within the first buffer
+    epoch only the top level is occupied, so the per-access count is
+    ilog2(caps_L) + 2 however early (or whether at all) each level's
+    binary search lands on the tag."""
+    from repro.util.mathx import ilog2
+
+    _, oram, _ = oram_transcript(n, [], backend="hierarchical")
+    assert oram._occupied == [False] * oram.L + [True]
+    want_meta = ilog2(oram.caps[-1]) + 2
+    meta_per_access, payload_per_access = oram_probe_counts(
+        n, accesses=max(1, oram.s0 - 1), backend="hierarchical"
     )
     assert meta_per_access == want_meta
     assert payload_per_access == 1
