@@ -3,7 +3,6 @@ the paper's analysis hold empirically (the proved curve dominates the
 Monte-Carlo tail everywhere)."""
 
 import numpy as np
-import pytest
 
 from repro.util.chernoff import compare_lemma22, compare_lemma23
 

@@ -28,7 +28,6 @@ def bench_e2_io_series(capsys):
     """Insert-pass I/Os are (1 + 4k) per block — linear in n; the peel
     cost depends only on r (the sparse term of O(n + r log^2 r))."""
     rows = []
-    k = 3
     for n in (64, 128, 256, 512):
         r = max(2, int(n / max(1.0, np.log2(n) ** 2)))
         mach, arr = _instance(n, r)

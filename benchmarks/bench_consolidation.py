@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 
 from repro.core.consolidation import consolidate
-from repro.em import EMMachine, make_block
+from repro.em import EMMachine
 
 from _workloads import load_sparse_blocks, series_table, experiment
 

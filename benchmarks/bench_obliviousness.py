@@ -8,7 +8,6 @@ covered by shape checks in the unit tests; everything here is
 trace-exact)."""
 
 import numpy as np
-import pytest
 
 from repro.baselines import bitonic_external_sort
 from repro.core.compaction import loose_compact, tight_compact

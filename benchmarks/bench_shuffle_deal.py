@@ -6,7 +6,6 @@ maximum per-batch colour load over many shuffles against the slot bound
 the deal provisions."""
 
 import numpy as np
-import pytest
 
 from repro.core.shuffle import DealOverflow, shuffle_and_deal
 from repro.em import EMMachine, make_block

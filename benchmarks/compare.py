@@ -64,6 +64,13 @@ QUERY_METRICS = (
     "attempts",
     "wall_seconds",
 )
+LINT_METRICS = (
+    "expected_findings",
+    "unexpected_findings",
+    "pragmas",
+    "lint_public_entries",
+    "wall_seconds",
+)
 #: Artifacts with their own metric tables; everything else uses METRICS.
 #: A metric missing on either side (schema drift between PRs, or a brand
 #: new artifact like BENCH_oram.json on its first compare) is reported as
@@ -74,6 +81,7 @@ ARTIFACT_METRICS = {
     "service": SERVICE_METRICS,
     "parallel": PARALLEL_METRICS,
     "query": QUERY_METRICS,
+    "lint": LINT_METRICS,
 }
 #: Deterministic metrics: any worsening is flagged regardless of threshold.
 EXACT = {
@@ -91,6 +99,7 @@ EXACT = {
     "batch_shared_rounds",
     "join_ios",
     "group_by_ios",
+    "unexpected_findings",
 }
 #: Metrics where a *larger* value is the good direction (batch quality,
 #: parallel speedup).

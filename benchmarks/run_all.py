@@ -283,6 +283,7 @@ def main(argv: list[str] | None = None) -> int:
     failures += run_service_comparison(args.smoke, config, args.seed, json_dir)
     failures += run_parallel_comparison(args.smoke, args.seed, json_dir)
     failures += run_query_benchmark_wrapper(args.smoke, config, args.seed, json_dir)
+    failures += run_lint_report(json_dir)
     if failures:
         print(f"\n{failures} algorithm(s) failed")
         return 1
@@ -297,6 +298,44 @@ def run_query_benchmark_wrapper(smoke: bool, config, seed: int, json_dir) -> int
     from bench_query import run_query_benchmark
 
     return run_query_benchmark(smoke, config, seed, json_dir)
+
+
+def run_lint_report(json_dir) -> int:
+    """Run the static obliviousness linter and record its rule counts
+    (``BENCH_lint.json`` when ``--json`` is active).
+
+    The blocking strict gate lives in CI's dedicated lint job; this
+    section keeps the per-rule finding counts and pragma census in the
+    benchmark artifact trail so suppression growth is visible across
+    PRs, and fails the run if the repo ever goes strict-dirty so the
+    artifact cannot silently go stale."""
+    from repro.lint import run_lint
+
+    start = time.perf_counter()
+    report = run_lint()
+    elapsed = time.perf_counter() - start
+    status = "ok" if report.strict_ok() else "DIRTY"
+    print(
+        f"\nstatic linter: {len(report.findings)} finding(s) "
+        f"({len(report.expected)} expected baseline, "
+        f"{len(report.unexpected)} unexpected), "
+        f"{report.pragma_count} pragma(s), "
+        f"{report.lint_public_count} lint_public entr(ies)  [{status}]"
+    )
+    if json_dir is not None:
+        artifact = {
+            "rule_counts": report.rule_counts(),
+            "expected_findings": len(report.expected),
+            "unexpected_findings": len(report.unexpected),
+            "pragmas": report.pragma_count,
+            "lint_public_entries": report.lint_public_count,
+            "summary_rounds": report.summary_rounds,
+            "merge_sort_flagged": report.merge_sort_flagged(),
+            "wall_seconds": elapsed,
+        }
+        path = json_dir / "BENCH_lint.json"
+        path.write_text(json.dumps(artifact, indent=2) + "\n")
+    return 0 if report.strict_ok() else 1
 
 
 def run_service_comparison(smoke: bool, config, seed: int, json_dir) -> int:

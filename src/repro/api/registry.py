@@ -25,7 +25,7 @@ treatment.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
 import numpy as np
@@ -33,6 +33,7 @@ import numpy as np
 from repro.baselines import bitonic_external_sort, external_merge_sort, sort_then_pick
 from repro.core._helpers import empty_block, hold_scan, scan_chunks
 from repro.core.compaction import (
+    CompactionFailure,
     loose_compact,
     loose_compact_logstar,
     tight_compact,
@@ -226,6 +227,19 @@ class AlgorithmSpec:
     #: Optional output-size rule ``(n_items, params) -> int``; when absent
     #: the default is "record count preserved" (or 0 for value outputs).
     out_items: Callable[[int, dict], int] | None = None
+    #: Machine-readable sanitizer declarations for the static linter
+    #: (:mod:`repro.lint`): ``(name, justification)`` pairs naming
+    #: runner-level quantities that are deliberately public (mirrors an
+    #: in-source ``public(...)`` pragma, but lives on the spec so tools
+    #: can enumerate every declassification per algorithm).  Every entry
+    #: MUST carry a non-empty justification (checked by rule SPEC208).
+    lint_public: tuple[tuple[str, str], ...] = ()
+    #: The runner consumes derived randomness (``rng``) even though it
+    #: is not Las Vegas (``randomized=False`` means "never fails /
+    #: retried"; it does not have to mean "deterministic").  Lint rule
+    #: SPEC204 treats RNG use in a non-randomized spec as a mismatch
+    #: unless this flag documents it.
+    draws_randomness: bool = False
 
     def __post_init__(self) -> None:
         if self.output not in ("records", "value"):
@@ -494,7 +508,16 @@ def _run_compact(machine, A, n_items, rng, params) -> AlgorithmOutput:
     capacity_blocks = params.pop("capacity_blocks", None)
     _done("compact", params)
     cons = consolidate(machine, A)
-    out = tight_compact(machine, cons.array, capacity_blocks)
+    try:
+        out = tight_compact(machine, cons.array, capacity_blocks)
+    except CompactionFailure as exc:
+        # This pipeline is deterministic: overflowing capacity_blocks
+        # means the caller's bound is simply wrong, and retrying with
+        # fresh randomness (the Las Vegas contract of
+        # CompactionFailure) cannot help.  Surface a plain contract
+        # error instead so the session does not burn retries on it.
+        machine.free(cons.array)
+        raise ValueError(str(exc)) from exc
     if out is not cons.array:
         machine.free(cons.array)
     return AlgorithmOutput(array=out)
@@ -716,6 +739,10 @@ register(AlgorithmSpec(
     variants=("compact", "compact_sparse", "compact_sparse_hier",
               "compact_loose", "compact_logstar"),
     null_tolerant=True,
+    lint_public=(
+        ("capacity_blocks", "caller-declared output bound; part of the "
+         "public query plan, so acting on it reveals nothing"),
+    ),
 ))
 register(AlgorithmSpec(
     "compact_sparse",
@@ -828,6 +855,9 @@ register(AlgorithmSpec(
     # shapes (sqrt(n) vs polylog amortized) — the optimizer's first
     # oram_backend axis, cost-selected per (n, M, B, request length).
     variants=("oram_read_batch", "oram_read_batch_hier"),
+    # PRF tag keys come from the session RNG; the batch itself never
+    # fails, so this is not a Las Vegas algorithm.
+    draws_randomness=True,
 ))
 register(AlgorithmSpec(
     "oram_read_batch_hier",
@@ -837,6 +867,7 @@ register(AlgorithmSpec(
     output_order=None,
     out_items=lambda n_items, params: len(params.get("indices", ())),
     variants=("oram_read_batch_hier", "oram_read_batch"),
+    draws_randomness=True,  # PRF tag keys, as for oram_read_batch
 ))
 register(AlgorithmSpec(
     "mask",

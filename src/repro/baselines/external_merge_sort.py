@@ -17,7 +17,6 @@ from repro.em.block import NULL_KEY, RECORD_WIDTH, is_empty
 from repro.em.machine import EMMachine
 from repro.em.storage import EMArray
 from repro.networks.comparator import order_keys, sort_records
-from repro.util.mathx import ceil_div
 
 __all__ = ["external_merge_sort"]
 

@@ -142,7 +142,7 @@ def oblivious_block_sort(
         return kb[:, 0, 1], kb[:, 0, 0], reads
 
     def store_atoms(lo: int, order: np.ndarray, reads: list[np.ndarray]) -> None:
-        idx = (lo, lo + len(order))
+        idx = (lo, lo + len(order))  # oblint: public(idx) -- slab extent: len(order) is the round's block count, fixed by the public merge schedule
         steps = [("w", keys, idx, reads[0][order])] + [
             ("w", w, idx, reads[t + 1][order]) for t, w in enumerate(work)
         ]

@@ -119,8 +119,9 @@ def tight_compact(
     if routed.num_blocks > out_blocks:
         with machine.cache.hold(1):
             probe = machine.read(routed, out_blocks)
-        if block_occupied(probe):
+        if block_occupied(probe):  # oblint: public(probe) -- truncation probe: aborts only when the caller's out_blocks bound is violated; the trace up to it is identical either way
             machine.free(routed)
+            machine.free(out)
             raise CompactionFailure(
                 f"more than {out_blocks} occupied blocks in tight compaction"
             )
@@ -287,7 +288,7 @@ def _iblt_insert_pass(
     return _IBLTState(meta, payload, hashes, inserted)
 
 
-def _peel_direct(
+def _peel_direct(  # oblint: nonoblivious -- documented plain peel (data-dependent access), reachable only with oblivious_list=False
     machine: EMMachine,
     state: _IBLTState,
     r: int,
@@ -444,7 +445,7 @@ def _peel_oram(
     out_count = 0
     for rnd in range(rounds):
         # Pop (or dummy).
-        if head < tail:
+        if head < tail:  # oblint: public(head, tail) -- pop-or-dummy: both arms perform exactly one ORAM queue access per round
             qb = oram_q.read(head)
             head += 1
             cand = int(qb[0, 0])
@@ -452,7 +453,7 @@ def _peel_oram(
             oram_q.dummy_op()
             cand = None
         # Examine the candidate cell (stale entries fail the pure test).
-        if cand is not None:
+        if cand is not None:  # oblint: public(cand is not None) -- balanced probe: both arms perform exactly one ORAM cell access
             mb = oram_cells.read(cand)
             pure = int(mb[0, 0]) == 1
             i_key = int(mb[0, 1])
@@ -461,7 +462,7 @@ def _peel_oram(
             pure = False
             i_key = 0
         # Read its payload (or dummy).
-        if pure:
+        if pure:  # oblint: public(pure) -- balanced probe: both arms perform exactly one ORAM payload access
             enc = oram_pay.read(cand)
         else:
             oram_pay.dummy_op()
@@ -586,7 +587,7 @@ def tight_compact_sparse(
                 machine.write_many(result, (lo, hi), stacked)
     machine.free(state.meta)
     machine.free(state.payload)
-    if strict and not ok:
+    if strict and not ok:  # oblint: public(ok) -- Las Vegas overflow flag: the failure event is a data-independent tail event (Theorem 4)
         raise CompactionFailure(
             "IBLT listEntries failed to recover every item (Lemma 1 tail event)"
         )
@@ -657,7 +658,7 @@ def loose_compact(
                 real = min(g, n_cur - lo)
                 blocks = machine.read_many(work, (lo, lo + real))
                 occupied = blocks[blocks_occupied(blocks)]
-                if len(occupied) > half:
+                if len(occupied) > half:  # oblint: public(len(occupied)) -- halving probe: overflow past the Lemma 7 bound is a data-independent tail event
                     machine.free(nxt)
                     raise CompactionFailure(
                         f"region kept {len(occupied)} > {half} blocks after "
@@ -676,7 +677,7 @@ def loose_compact(
         with machine.cache.hold(work.num_blocks):
             blocks = machine.read_many(work, (0, work.num_blocks))
             occupied = blocks[blocks_occupied(blocks)]
-            if len(occupied) > r:
+            if len(occupied) > r:  # oblint: public(len(occupied)) -- residual probe: overflow past the Lemma 7 bound is a data-independent tail event
                 raise CompactionFailure(
                     f"{len(occupied)} blocks remain for a tail of capacity {r}"
                 )
@@ -690,7 +691,7 @@ def loose_compact(
         )
         with machine.cache.hold(1):
             probe = machine.read(work, r) if work.num_blocks > r else None
-        if probe is not None and block_occupied(probe):
+        if probe is not None and block_occupied(probe):  # oblint: public(probe) -- overflow probe: a data-independent Las Vegas tail event
             raise CompactionFailure(
                 f"more than {r} blocks remain for the compaction tail"
             )
@@ -749,7 +750,6 @@ def loose_compact_logstar(
     if region_compactor not in ("butterfly", "iblt"):
         raise ValueError(f"unknown region_compactor {region_compactor!r}")
     B = machine.B
-    m = machine.cache.capacity_blocks
     tail_cap = max(1, ceil_div(r, 4))
     out_cap = 4 * r + tail_cap
 
@@ -764,7 +764,7 @@ def loose_compact_logstar(
     log2n_sq = max(1.0, math.log2(n)) ** 2
     if r < n / log2n_sq:
         # Sparse base case: Theorem 4 directly, padded to the loose size.
-        sparse = tight_compact_sparse(
+        sparse = tight_compact_sparse(  # oblint: public(sparse) -- array handle; its capacity is the public loose bound
             machine, A, r, rng, oblivious_list=oblivious_list, strict=True
         )
         out = machine.alloc(out_cap, f"{A.name}.lstar.out")
@@ -801,7 +801,7 @@ def loose_compact_logstar(
             if region_compactor == "butterfly":
                 compacted = butterfly_compact(machine, reg_arr)
             else:
-                compacted, _ok = tight_compact_sparse(
+                compacted, _ok = tight_compact_sparse(  # oblint: public(compacted) -- array handle with public capacity
                     machine,
                     reg_arr,
                     min(r_i, size),
@@ -835,11 +835,11 @@ def loose_compact_logstar(
         phase += 1
 
     # Final: Theorem 4 into the last 0.25 r cells of D.
-    tail, ok = tight_compact_sparse(
+    tail, ok = tight_compact_sparse(  # oblint: public(tail) -- array handle; the ok flag stays private
         machine, work, tail_cap, rng, oblivious_list=oblivious_list, strict=False
     )
     machine.free(work)
-    if not ok:
+    if not ok:  # oblint: public(ok) -- loose-compaction overflow flag: a data-independent Las Vegas tail event
         machine.free(D_main)
         machine.free(tail)
         raise CompactionFailure(

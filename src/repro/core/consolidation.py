@@ -198,9 +198,9 @@ def multiway_consolidate(
             blocks = machine.read_many(A, (lo, hi))
             flat = blocks.reshape(-1, RECORD_WIDTH)
             real = flat[~is_empty(flat)]
-            if len(real):
+            if len(real):  # oblint: public(len(real)) -- guards only in-cache bucketing and a contract abort; every round still writes exactly num_colors blocks
                 colors = np.asarray(color_fn(real), dtype=np.int64)
-                if np.any((colors < 0) | (colors >= num_colors)):
+                if np.any((colors < 0) | (colors >= num_colors)):  # oblint: public(colors) -- validation abort: fires only when color_fn violates its declared range
                     raise ValueError("color_fn produced an out-of-range colour")
                 for c in range(num_colors):
                     sel = real[colors == c]
@@ -228,7 +228,7 @@ def multiway_consolidate(
                 else:
                     drain(c, take)
                 emitted += 1
-        if emitted > 2 * num_colors:
+        if emitted > 2 * num_colors:  # oblint: public(emitted) -- flush-accounting invariant: fires only on an internal bug, never on well-formed runs
             raise AssertionError(
                 "multiway consolidation flush invariant violated "
                 f"({emitted} > {2 * num_colors} blocks)"

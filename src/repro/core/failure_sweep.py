@@ -67,7 +67,7 @@ def failure_sweep(
     its records sorted and tightly packed in a prefix of its original
     slot range.
     """
-    if len(segment_bounds) != len(failed):
+    if len(segment_bounds) != len(failed):  # oblint: public(failed) -- shape validation: aborts only on a malformed caller argument
         raise ValueError("one failed flag per segment required")
     n = concat.num_blocks
     B = machine.B
@@ -78,13 +78,13 @@ def failure_sweep(
     # Private metadata about the failed slots.
     failed_slots: list[int] = []
     slot_segment: list[int] = []
-    for seg, ((lo, hi), bad) in enumerate(zip(segment_bounds, failed)):
-        if not (0 <= lo <= hi <= n):
+    for seg, ((lo, hi), bad) in enumerate(zip(segment_bounds, failed)):  # oblint: public(failed) -- segment failure flags are data-independent Las Vegas tail events (Lemma 5)
+        if not (0 <= lo <= hi <= n):  # oblint: public(segment_bounds) -- bounds validation: aborts only on a caller contract violation
             raise ValueError(f"segment {seg} bounds ({lo}, {hi}) out of range")
         if bad:
             failed_slots.extend(range(lo, hi))
             slot_segment.extend([seg] * (hi - lo))
-    if len(failed_slots) > cap:
+    if len(failed_slots) > cap:  # oblint: public(len(failed_slots)) -- capacity probe: overflow past the Chernoff cap is a data-independent tail event
         raise SweepOverflow(
             f"{len(failed_slots)} failed blocks exceed sweep capacity {cap}"
         )
@@ -110,12 +110,12 @@ def failure_sweep(
     # 2b. Build the dummy agenda: pad each failed segment to exactly
     #     slot_count * B cells.
     agenda: list[int] = []  # segment id, one entry per dummy needed
-    for seg, bad in enumerate(failed):
+    for seg, bad in enumerate(failed):  # oblint: public(failed) -- failure flags are data-independent Las Vegas tail events
         if not bad:
             continue
         lo, hi = segment_bounds[seg]
         need = (hi - lo) * B - seg_real.get(seg, 0)
-        if need < 0:
+        if need < 0:  # oblint: public(need) -- dummy-budget probe: a deficit occurs only in the Las Vegas tail
             machine.free(F)
             raise SweepOverflow(
                 f"segment {seg} holds more records than its slots can take"
@@ -156,7 +156,7 @@ def failure_sweep(
                 return blocks
 
             machine.io_rounds([("r", F, (lo, hi)), ("w", F, (lo, hi), tagged)])
-    if agenda_pos != len(agenda):
+    if agenda_pos != len(agenda):  # oblint: public(agenda_pos) -- agenda accounting invariant: fires only on an internal bug
         machine.free(F)
         raise SweepOverflow("not enough spare cells to pad the failed segments")
 

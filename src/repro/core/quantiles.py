@@ -184,7 +184,7 @@ def quantiles_em(
     # Effective (disjoint, value-ordered) brackets: an item belongs to the
     # first bracket that contains it.
     y_sorted = [b[1] for b in brackets]
-    if any(y_sorted[i] > y_sorted[i + 1] for i in range(q - 1)):
+    if any(y_sorted[i] > y_sorted[i + 1] for i in range(q - 1)):  # oblint: public(y_sorted) -- degenerate-sample probe: bracket disorder is a Las Vegas tail event (Lemma 9)
         raise QuantileFailure("bracket ends out of order (degenerate sample)")
 
     # Classification scan: per-bracket and per-gap private counts, plus a
@@ -295,7 +295,7 @@ def quantiles_sorted_em(
     targets = _target_ranks(n_items, q)
     got = _ranked_keys_scan(machine, A, sorted(set(targets)))
     missing = [t for t in targets if t not in got]
-    if missing:
+    if missing:  # oblint: public(missing) -- validation abort: fires only when the caller's targets violate the contract
         raise ValueError(
             f"array holds fewer than {max(missing)} real records "
             f"(caller claimed {n_items})"

@@ -35,7 +35,7 @@ from repro.core._helpers import hold_scan, ranked_records_scan, scan_chunks
 from repro.core.compaction import tight_compact, tight_compact_sparse
 from repro.core.consolidation import consolidate
 from repro.core.external_sort import oblivious_external_sort
-from repro.em.block import NULL_KEY, RECORD_WIDTH, is_empty
+from repro.em.block import NULL_KEY, is_empty
 from repro.em.errors import EMError
 from repro.errors import LasVegasFailure
 from repro.em.machine import EMMachine
@@ -177,7 +177,7 @@ def select_em(
 
     # Step 0: global min/max and an item-count sanity check (one scan).
     lo_key, hi_key, count = _scan_min_max_count(machine, A)
-    if count != n_items:
+    if count != n_items:  # oblint: public(count) -- validation abort: fires only when the caller's n_items claim is wrong
         raise ValueError(f"A holds {count} items, caller claimed {n_items}")
 
     # Step 1: Bernoulli(n^-1/2) sampling scan.
@@ -210,7 +210,7 @@ def select_em(
     # Step 3: widen with the true extremes.
     x = lo_key if x_prime is None else max(x_prime, lo_key)
     y = hi_key if y_prime is None else min(y_prime, hi_key)
-    if x > y:
+    if x > y:  # oblint: public(x, y) -- empty-bracket probe: a Lemma 11 tail event, data-independent w.h.p.
         raise SelectionFailure(f"empty bracket [{x}, {y}] (Lemma 11 tail)")
 
     # Step 4: mark the bracketed candidates; count items below x.

@@ -127,9 +127,9 @@ def shuffle_and_deal(
             blocks = machine.read_many(A, (lo, hi))
             occ = blocks_occupied(blocks)
             groups: list[list[np.ndarray]] = [[] for _ in range(num_colors)]
-            for block in blocks[occ]:
+            for block in blocks[occ]:  # oblint: public(blocks) -- in-cache partition of one public-size batch; the only effect is the colour-contract abort
                 c = int(color_of_block(block))
-                if not (0 <= c < num_colors):
+                if not (0 <= c < num_colors):  # oblint: public(c) -- colour validation: aborts only when color_of_block violates its range contract
                     raise ValueError(f"colour {c} out of range")
                 groups[c].append(block)
             base = batch * per_color_slots

@@ -349,7 +349,7 @@ def oblivious_sort(
     pad_fill = 0
     if padded:
         real = _count_real(machine, A)
-        if real > n_items:
+        if real > n_items:  # oblint: public(real) -- validation abort: fires only when the caller understates the real occupancy
             raise ValueError(
                 f"padded sort declared n_items={n_items} but the input "
                 f"holds {real} real records"

@@ -1,0 +1,20 @@
+"""Static obliviousness linter for the reproduction codebase.
+
+Three passes over the algorithm sources, complementing the *dynamic*
+adversary-view harness (which can only witness violations its sampled
+inputs happen to trigger):
+
+1. taint/obliviousness — no machine payload value may influence the
+   I/O sequence (:mod:`repro.lint.taint`);
+2. AlgorithmSpec conformance — declared spec flags must match runner
+   source (:mod:`repro.lint.conformance`);
+3. parallel-safety — worker shards must not touch sequential-epilogue
+   accounting state (:mod:`repro.lint.parallel_safety`).
+
+Run with ``python -m repro.lint [--strict] [--json]``.
+"""
+
+from repro.lint.findings import RULES, Finding
+from repro.lint.runner import LintReport, run_lint
+
+__all__ = ["Finding", "LintReport", "RULES", "run_lint"]

@@ -1,0 +1,165 @@
+"""``# oblint:`` pragma parsing.
+
+A pragma declares a deliberately-public quantity and MUST carry a
+justification string::
+
+    x = int(counts.sum())  # oblint: public(x) -- sizes of the padded
+                           # layout are fixed by (n, B), Lemma 4.
+
+Accepted separators between the expression and the justification are
+an em dash (``—``), ``--`` or ``:``.  Pragmas attach to the physical
+line their comment starts on; the taint pass consults them in two
+ways:
+
+* a pragma on an assignment line sanitizes the assigned names;
+* a pragma whose line falls inside a reported expression's span
+  suppresses the finding.
+
+A second form, ``# oblint: nonoblivious -- <justification>``, placed
+on a ``def`` line (or its docstring block), declares the *whole
+function* a deliberate non-oblivious opt-out — the moral equivalent of
+living in ``baselines/`` — e.g. the IBLT plain peel that callers only
+reach with ``oblivious_list=False``.
+
+Malformed pragmas (no justification, unparseable shape) become
+``OBL104`` findings; pragmas that never matched anything become
+``OBL105`` so dead suppressions cannot accumulate.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.lint.findings import Finding
+
+__all__ = ["Pragma", "PragmaTable", "parse_pragmas"]
+
+_PRAGMA_RE = re.compile(r"#\s*oblint:\s*(?P<body>.*)$")
+_PUBLIC_RE = re.compile(
+    r"public\s*\(\s*(?P<expr>.*?)\s*\)\s*(?:—|--|:)\s*(?P<just>.*)$"
+)
+_NONOBLIVIOUS_RE = re.compile(
+    r"nonoblivious\s*(?:\(\s*\))?\s*(?:—|--|:)\s*(?P<just>.*)$"
+)
+
+
+@dataclass
+class Pragma:
+    path: str
+    line: int
+    expr: str
+    justification: str
+    kind: str = "public"
+    used: bool = False
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Bare names mentioned in the pragma expression."""
+        try:
+            tree = ast.parse(self.expr, mode="eval")
+        except SyntaxError:
+            return ()
+        return tuple(
+            sorted({n.id for n in ast.walk(tree) if isinstance(n, ast.Name)})
+        )
+
+
+@dataclass
+class PragmaTable:
+    """All pragmas of one module, keyed by line, plus parse errors."""
+
+    path: str
+    by_line: dict[int, Pragma] = field(default_factory=dict)
+    errors: list[Finding] = field(default_factory=list)
+
+    def covering(self, lineno: int, end_lineno: int | None = None) -> Pragma | None:
+        """Pragma whose line falls within ``[lineno, end_lineno]``."""
+        for line in range(lineno, (end_lineno or lineno) + 1):
+            pragma = self.by_line.get(line)
+            if pragma is not None:
+                return pragma
+        return None
+
+    def suppresses(self, lineno: int, end_lineno: int | None = None) -> bool:
+        pragma = self.covering(lineno, end_lineno)
+        if pragma is None:
+            return False
+        pragma.used = True
+        return True
+
+    def unused_findings(self) -> list[Finding]:
+        return [
+            Finding(
+                rule="OBL105",
+                path=self.path,
+                line=p.line,
+                message=f"pragma {p.kind}({p.expr}) matched nothing",
+            )
+            for p in self.by_line.values()
+            if not p.used
+        ]
+
+
+def parse_pragmas(path: str, source: str) -> PragmaTable:
+    table = PragmaTable(path=path)
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [
+            (tok.start[0], tok.string)
+            for tok in tokens
+            if tok.type == tokenize.COMMENT
+        ]
+    except tokenize.TokenError:
+        return table
+    for line, text in comments:
+        m = _PRAGMA_RE.search(text)
+        if m is None:
+            continue
+        body = m.group("body").strip()
+        nm = _NONOBLIVIOUS_RE.match(body)
+        if nm is not None:
+            if not nm.group("just").strip():
+                table.errors.append(
+                    Finding(
+                        rule="OBL104",
+                        path=path,
+                        line=line,
+                        message="nonoblivious pragma needs a justification "
+                        "('# oblint: nonoblivious -- why')",
+                    )
+                )
+                continue
+            table.by_line[line] = Pragma(
+                path=path,
+                line=line,
+                expr="",
+                justification=nm.group("just").strip(),
+                kind="nonoblivious",
+            )
+            continue
+        pm = _PUBLIC_RE.match(body)
+        if pm is None or not pm.group("just").strip():
+            table.errors.append(
+                Finding(
+                    rule="OBL104",
+                    path=path,
+                    line=line,
+                    message=(
+                        "pragma must have the form "
+                        "'# oblint: public(expr) -- justification' "
+                        f"(got {body!r})"
+                    ),
+                )
+            )
+            continue
+        table.by_line[line] = Pragma(
+            path=path,
+            line=line,
+            expr=pm.group("expr").strip(),
+            justification=pm.group("just").strip(),
+        )
+    return table

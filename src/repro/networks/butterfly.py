@@ -148,7 +148,7 @@ def _route_in_memory(
     idx = np.arange(n, dtype=np.int64)
     moves = np.where(occ, lab % span, 0)
     dests = idx - moves
-    if np.any(dests < 0):
+    if np.any(dests < 0):  # oblint: public(dests) -- collision probe: labels are precomputed collision-free; an abort is an invalid plan or a tag-collision tail event
         raise ButterflyCollisionError("a label routed a cell past the left edge")
     new_occ = np.zeros_like(occ)
     new_lab = np.zeros_like(lab)
@@ -157,7 +157,7 @@ def _route_in_memory(
     src = idx[occ]
     dst = dests[occ]
     counts = np.bincount(dst, minlength=n)
-    if np.any(counts > 1):
+    if np.any(counts > 1):  # oblint: public(counts) -- collision probe: same invalid-plan / tail event as the edge check above
         raise ButterflyCollisionError(
             f"collision in composite routing: slots "
             f"{np.flatnonzero(counts > 1).tolist()}"
@@ -422,10 +422,10 @@ def _route_em_windowed(
         d = dist[sel]
         moves = d % S
         dests = j0 + sel - moves
-        if np.any(dests < max(0, base)):
+        if np.any(dests < max(0, base)):  # oblint: public(dests) -- collision probe: aborts only on an invalid routing plan or a tag-collision tail event
             raise ButterflyCollisionError("cell routed before buffer window")
         dests -= base
-        if np.any(img_occ[dests]) or np.any(
+        if np.any(img_occ[dests]) or np.any(  # oblint: public(dests) -- collision probe: aborts only on an invalid routing plan or a tag-collision tail event
             np.bincount(dests, minlength=len(img_occ))[dests] > 1
         ):
             raise ButterflyCollisionError(
@@ -619,7 +619,7 @@ def butterfly_compact(
     if occupied_mask is not None:
         if occupied_fn is not None:
             raise ValueError("pass occupied_fn or occupied_mask, not both")
-        if len(occupied_mask) != n:
+        if len(occupied_mask) != n:  # oblint: public(occupied_mask) -- shape validation: aborts only on a malformed mask argument
             raise ValueError(f"mask length {len(occupied_mask)} != {n} blocks")
         occupied_vec = np.asarray(
             [bool(x) for x in occupied_mask], dtype=bool
@@ -665,15 +665,15 @@ def butterfly_expand(
     """
     expansion = np.asarray(expansion, dtype=np.int64)
     nd = D.num_blocks
-    if len(expansion) != nd:
+    if len(expansion) != nd:  # oblint: public(expansion) -- shape validation: aborts only on a malformed caller argument
         raise ValueError(f"need one expansion factor per block ({nd}), got {len(expansion)}")
     if nd == 0:
         return machine.alloc(n_out, f"{D.name}.expanded")
-    if np.any(expansion < 0):
+    if np.any(expansion < 0):  # oblint: public(expansion) -- validation abort: expansion factors are schedule metadata, checked against the contract
         raise ValueError("expansion factors must be non-negative")
-    if np.any(np.diff(expansion) < 0):
+    if np.any(np.diff(expansion) < 0):  # oblint: public(expansion) -- validation abort: monotonicity is part of the caller contract
         raise ValueError("expansion factors must be non-decreasing")
-    if nd - 1 + int(expansion[-1]) >= n_out:
+    if nd - 1 + int(expansion[-1]) >= n_out:  # oblint: public(expansion) -- validation abort: overflow of the declared output size is a contract violation
         raise ValueError("expansion factors overflow the output array")
     B = machine.B
     m = machine.cache.capacity_blocks

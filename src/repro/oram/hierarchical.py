@@ -199,7 +199,7 @@ class HierarchicalORAM:
                     ("r", payload, (self.n + lo, self.n + hi)),
                 ])
                 recovered += int(np.count_nonzero(metas[:, 0, 1] < self.n))
-        if recovered != self.n:
+        if recovered != self.n:  # oblint: public(recovered) -- extract integrity check: fires only on store corruption
             raise EMError(f"ORAM extract recovered {recovered}/{self.n} cells")
         mach.free(meta)
         mach.free(payload)
@@ -315,7 +315,7 @@ class HierarchicalORAM:
                         )
                     self._dummies_used[k] += 1
                     pay, hit = self._binary_search(k, _prf(self._keys[k], self.n + rank))
-                    if not hit:
+                    if not hit:  # oblint: public(hit) -- dummy-probe integrity check: fires only on PRF tag collision or corruption
                         raise EMError(
                             "ORAM dummy probe missed its tag — tag collision "
                             "or corrupted level"
@@ -372,7 +372,7 @@ class HierarchicalORAM:
         found_slot = -1
         mid = 0
         for _ in range(ilog2(nblk) + 2):
-            mid = (lo + hi) // 2
+            mid = (lo + hi) // 2  # oblint: public(mid) -- binary search over sorted PRF tags: the probe path depends only on pseudorandom tag order
             mb = mach.read(meta, mid)
             mid_tag = int(mb[0, 0])
             if mid_tag == tag:
@@ -381,7 +381,7 @@ class HierarchicalORAM:
                 lo = min(mid + 1, nblk - 1)
             else:
                 hi = max(mid - 1, 0)
-        slot = found_slot if found_slot >= 0 else mid
+        slot = found_slot if found_slot >= 0 else mid  # oblint: public(slot) -- slot in the tag-sorted level is determined by PRF tag order alone
         return mach.read(payload, slot), found_slot >= 0
 
     # -- merge / rebuild ----------------------------------------------------

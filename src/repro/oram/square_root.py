@@ -230,7 +230,7 @@ class SquareRootORAM:
                     ("r", payload, (self.n + lo, self.n + hi)),
                 ])
                 recovered += int(np.count_nonzero(metas[:, 0, 1] < self.n))
-        if recovered != self.n:
+        if recovered != self.n:  # oblint: public(recovered) -- extract integrity check: fires only on store corruption
             raise EMError(f"ORAM extract recovered {recovered}/{self.n} cells")
         mach.free(meta)
         mach.free(payload)
@@ -385,7 +385,7 @@ class SquareRootORAM:
         found_slot = -1
         iters = ilog2(self.n_store) + 2
         for _ in range(iters):
-            mid = (lo + hi) // 2
+            mid = (lo + hi) // 2  # oblint: public(mid) -- binary search over sorted PRF tags: the probe path depends only on pseudorandom tag order
             mb = mach.read(self.store_meta, mid)
             mid_tag = int(mb[0, 0])
             if mid_tag == tag:
@@ -394,11 +394,11 @@ class SquareRootORAM:
                 lo = min(mid + 1, self.n_store - 1)
             else:
                 hi = max(mid - 1, 0)
-        if found_slot < 0:
+        if found_slot < 0:  # oblint: public(found_slot) -- probe-miss integrity check: fires only on PRF tag collision or corruption
             raise EMError(
                 "ORAM probe missed its tag — tag collision or corrupted store"
             )
-        return mach.read(self.store_payload, found_slot)
+        return mach.read(self.store_payload, found_slot)  # oblint: public(found_slot) -- slot position in the tag-sorted store is pseudorandom (PRF output)
 
     # -- rebuild ------------------------------------------------------------------
 

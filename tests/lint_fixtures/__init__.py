@@ -1,0 +1,5 @@
+"""Intentional-violation fixtures for the static linter's own tests.
+
+Nothing here is imported by library code; each module seeds violations
+that tests/test_lint.py asserts the corresponding lint pass detects.
+"""

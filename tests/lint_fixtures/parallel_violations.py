@@ -1,0 +1,28 @@
+"""Pass-3 fixtures: worker shards touching sequential-epilogue state.
+
+Both worker-entry discovery mechanisms are exercised: a nested ``job``
+closure inside a ``_*_job`` builder, and a function handed to
+``pool.submit``.
+"""
+
+
+def _bad_mix_job(engine, machine, arr, trace):
+    state = {"rows": 0}
+
+    def job():
+        trace.record(arr, 0)  # PAR302: epilogue-only API from a worker
+        engine.bytes_moved += 512  # PAR301: shared attribute mutation
+        machine.read(arr, 0)  # PAR303: machine re-entry from a worker
+        return state
+
+    return job
+
+
+def _spawn_all(pool, versions, buffers):
+    for buf in buffers:
+        pool.submit(_mix_worker, versions, buf)
+
+
+def _mix_worker(versions, buf):
+    versions.reencrypt(buf)  # PAR302: version bump on a worker thread
+    return buf

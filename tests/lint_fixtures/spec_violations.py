@@ -1,0 +1,35 @@
+"""Pass-2 fixtures: runners that contradict their declared spec.
+
+tests/test_lint.py registers these under deliberately-wrong
+AlgorithmSpec-shaped declarations and asserts the conformance pass
+reports each mismatch.
+"""
+
+from repro.errors import LasVegasFailure
+
+
+def writes_input(machine, A, n_items, rng, params):
+    """Registered with ``in_place=False`` -> SPEC201."""
+    blk = machine.read(A, 0)
+    machine.write(A, 0, blk)
+    return A
+
+
+def never_writes(machine, A, n_items, rng, params):
+    """Registered with ``in_place=True`` -> SPEC202 (stale claim)."""
+    return machine.read(A, 0)
+
+
+def hidden_lasvegas(machine, A, n_items, rng, params):
+    """Registered with ``randomized=False`` -> SPEC203."""
+    blk = machine.read(A, 0)
+    if blk[0, 0] < 0:
+        raise LasVegasFailure("tail event in a 'deterministic' runner")
+    return blk
+
+
+def hidden_rng(machine, A, n_items, rng, params):
+    """Registered with ``randomized=False`` and no ``draws_randomness``
+    -> SPEC204."""
+    j = int(rng.integers(0, 4))
+    return machine.read(A, j)

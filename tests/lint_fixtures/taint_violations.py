@@ -1,0 +1,39 @@
+"""Pass-1 fixtures: every function here violates obliviousness.
+
+The fixture is analyzed statically (never executed), so ``machine``
+and ``A`` are stand-ins for an :class:`EMMachine` and an
+:class:`EMArray` — the linter dispatches on attribute names and
+arity, exactly as it does for real algorithm code.
+"""
+
+
+def branch_on_payload(machine, A):
+    blk = machine.read(A, 0)
+    if blk[0, 0] > 10:  # OBL101: payload value steers an I/O branch
+        machine.write(A, 1, blk)
+    return blk
+
+
+def payload_index(machine, A):
+    blk = machine.read(A, 0)
+    j = int(blk[0, 1])
+    return machine.read(A, j)  # OBL102: payload-derived block index
+
+
+def payload_loop(machine, A):
+    blk = machine.read(A, 0)
+    total = 0
+    for _ in range(int(blk[0, 0])):  # OBL103: payload-derived trip count
+        total += int(machine.read(A, 1)[0, 0])
+    return total
+
+
+def pragma_without_justification(machine, A):
+    n = machine.read(A, 0)  # oblint: public(n)
+    if n[0, 0]:
+        machine.free(A)
+
+
+def stale_pragma(machine):
+    # oblint: public(ghost) -- suppresses nothing and must raise OBL105
+    return machine.B

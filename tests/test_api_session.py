@@ -250,6 +250,21 @@ def test_deterministic_algorithms_are_not_retried():
         unregister("_det")
 
 
+def test_compact_capacity_violation_is_a_contract_error():
+    # Regression (static linter SPEC203): the deterministic 'compact'
+    # pipeline used to surface tight_compact's CompactionFailure — a
+    # retryable Las Vegas failure — for what is an unretryable caller
+    # error (capacity_blocks below the true occupancy).  It must now be
+    # a plain ValueError that bypasses the retry loop entirely.
+    keys = np.arange(40)
+    with _session() as session:
+        with pytest.raises(ValueError):
+            session.run("compact", keys, capacity_blocks=1)
+        # The session stays usable and leak-free after the failure.
+        result = session.sort(keys)
+        assert len(result.records) == 40
+
+
 def test_session_is_reproducible_across_instances():
     keys = np.random.default_rng(10).permutation(np.arange(120))
     with _session() as s1, _session() as s2:

@@ -53,6 +53,15 @@ class TestTightCompact:
         with pytest.raises(CompactionFailure):
             tight_compact(mach, arr, 3)
 
+    def test_overflow_frees_intermediates(self):
+        # Regression: the truncation-failure path used to leak the
+        # freshly-allocated output array.
+        mach = EMMachine(M=64, B=4)
+        arr = load_block_array(mach, sparse_layout(8, [0, 1, 2, 3, 4]))
+        with pytest.raises(CompactionFailure):
+            tight_compact(mach, arr, 3)
+        assert list(mach._arrays.values()) == [arr]
+
     def test_default_keeps_size(self):
         mach = EMMachine(M=64, B=4)
         arr = load_block_array(mach, sparse_layout(8, [7]))

@@ -7,7 +7,6 @@ from hypothesis import strategies as st
 
 from repro.core.external_sort import oblivious_external_sort
 from repro.em import EMMachine, make_records
-from repro.util.mathx import log_base
 
 
 def run_sort(keys, B=4, M=64, run_blocks=None):

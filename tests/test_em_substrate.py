@@ -7,7 +7,6 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.em import (
-    NULL_KEY,
     AccessTrace,
     AdversaryView,
     CacheOverflowError,

@@ -20,7 +20,6 @@ import numpy as np
 import pytest
 
 from repro.api import (
-    AlgorithmOutput,
     AlgorithmSpec,
     EMConfig,
     Executor,

@@ -2,7 +2,6 @@
 and end-to-end obliviousness of composed operations."""
 
 import numpy as np
-import pytest
 
 import repro
 from repro import (

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.em import EMMachine, make_block
-from repro.em.block import NULL_KEY, is_empty
+from repro.em.block import is_empty
 from repro.networks.butterfly import (
     ButterflyCollisionError,
     butterfly_compact,

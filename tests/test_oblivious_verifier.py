@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.em import EMMachine
 from repro.oblivious import (
     ObliviousnessViolation,
     adversarial_inputs,

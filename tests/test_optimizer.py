@@ -25,7 +25,6 @@ from repro.api import (
     NULL_KEY,
     EMConfig,
     ObliviousSession,
-    identity_schedule,
     optimize_plan,
 )
 

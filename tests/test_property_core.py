@@ -6,7 +6,6 @@ NumPy oracles, and machine-parameter robustness.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -90,3 +90,58 @@ class TestBoundsDominateSimulation:
         rng = np.random.default_rng(321)
         cmp = compare_lemma23(60, 0.5, t, 50_000, rng)
         assert cmp.holds
+
+
+class TestEdgeCases:
+    """Boundary behaviour of the bound evaluators (lint-PR satellite)."""
+
+    def test_gamma_exactly_2e_rejected(self):
+        # The lemma's hypothesis is strict: gamma > 2e.
+        with pytest.raises(ValueError):
+            lemma22_bound(2 * math.e, 5.0)
+        assert lemma22_bound(2 * math.e + 1e-9, 5.0) < 1.0
+
+    def test_lemma23_regime_boundaries_use_tighter_side(self):
+        # At each regime boundary the implementation must pick the
+        # tighter (larger-t) exponent, matching the >= comparisons.
+        p, n = 0.5, 40
+        alpha = 1.0 / p
+        assert lemma23_bound(alpha / 2, p, n) == pytest.approx(
+            math.exp(-(alpha / 2) * p * n / 9)
+        )
+        assert lemma23_bound(alpha, p, n) == pytest.approx(
+            math.exp(-alpha * p * n / 5)
+        )
+        assert lemma23_bound(2 * alpha, p, n) == pytest.approx(
+            math.exp(-2 * alpha * p * n / 3)
+        )
+        assert lemma23_bound(3 * alpha, p, n) == pytest.approx(
+            math.exp(-3 * alpha * p * n / 2)
+        )
+
+    def test_lemma23_accepts_p_equal_one(self):
+        # p = 1 (deterministic geometric: every draw is exactly 1) is the
+        # closed end of the (0, 1] domain.
+        b = lemma23_bound(3.0, 1.0, 10)
+        assert 0.0 < b < 1.0
+        with pytest.raises(ValueError):
+            lemma23_bound(3.0, 1.0 + 1e-9, 10)
+
+    def test_geometric_support_convention(self):
+        # Paper convention: geometric support {1, 2, ...}, so a sum of n
+        # variables is at least n with probability 1.
+        rng = np.random.default_rng(7)
+        assert negative_binomial_tail_mc(50, 0.5, 49.5, 2_000, rng) == 1.0
+
+    def test_tail_comparison_holds_both_ways(self):
+        from repro.util.chernoff import TailComparison
+
+        assert TailComparison(threshold=1.0, bound=0.5, empirical=0.4).holds
+        assert not TailComparison(threshold=1.0, bound=0.3, empirical=0.4).holds
+
+    def test_compare_bounds_are_probabilities(self):
+        rng = np.random.default_rng(11)
+        for t in (0.1, 1.0, 8.0):
+            cmp = compare_lemma23(5, 0.9, t, 1_000, rng)
+            assert 0.0 <= cmp.bound <= 1.0
+            assert 0.0 <= cmp.empirical <= 1.0
